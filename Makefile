@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench repro examples figures docs clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full reproduction: every table and figure, plus stage timings.
+bench:
+	dune exec bench/main.exe
+
+# Machine-checked reproduction scorecard (non-zero exit on any failure).
+repro:
+	dune exec bin/reproduce.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/branch_metrics.exe
+	dune exec examples/cache_metrics.exe
+	dune exec examples/gpu_metrics.exe
+	dune exec examples/custom_metric.exe
+	dune exec examples/cross_architecture.exe
+	dune exec examples/validate_on_app.exe
+	dune exec examples/arithmetic_intensity.exe
+	dune exec examples/store_metrics.exe
+
+figures:
+	mkdir -p _figures
+	dune exec bin/figures.exe -- 2a --gnuplot _figures
+	dune exec bin/figures.exe -- 2b --gnuplot _figures
+	dune exec bin/figures.exe -- 2c --gnuplot _figures
+	dune exec bin/figures.exe -- 2d --gnuplot _figures
+	dune exec bin/figures.exe -- 3 --gnuplot _figures
+
+docs:
+	dune exec bin/handbook.exe > METRICS.md
+	dune exec bin/catalog_doc.exe -- spr > CATALOG_SPR.md
+
+clean:
+	dune clean
