@@ -1,0 +1,217 @@
+(* Benchmark harness.
+
+   Running this executable does two things:
+
+   1. Regenerates every table and figure of the paper (Tables I-VIII,
+      Figures 2a-2d and 3) from the simulated machines, printing them
+      in paper order — the reproduction itself.
+
+   2. Times every stage that produces them with Bechamel: one
+      Test.make per table/figure, plus the substrate microbenchmarks
+      and the standard-QRCP baseline for comparison. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Precomputed inputs: benchmarks time the analysis stages, not the   *)
+(* (deterministic, cached) data collection.                            *)
+(* ------------------------------------------------------------------ *)
+
+let cpu = lazy (Core.Pipeline.run Core.Category.Cpu_flops)
+let gpu = lazy (Core.Pipeline.run Core.Category.Gpu_flops)
+let br = lazy (Core.Pipeline.run Core.Category.Branch)
+let dc = lazy (Core.Pipeline.run Core.Category.Dcache)
+
+let result_of = function
+  | Core.Category.Cpu_flops -> Lazy.force cpu
+  | Core.Category.Gpu_flops -> Lazy.force gpu
+  | Core.Category.Branch -> Lazy.force br
+  | Core.Category.Dcache -> Lazy.force dc
+
+let stage_tests category =
+  let name suffix = Printf.sprintf "%s/%s" (Core.Category.name category) suffix in
+  let r = result_of category in
+  let dataset = Core.Category.dataset category in
+  let basis = r.Core.Pipeline.basis in
+  let kept = Core.Noise_filter.kept r.Core.Pipeline.classified in
+  [
+    (* Figure 2: the noise analysis of Section IV. *)
+    Test.make ~name:(name "fig2-noise-filter")
+      (Staged.stage (fun () ->
+           ignore (Core.Noise_filter.classify ~tau:r.Core.Pipeline.config.tau dataset)));
+    (* Section III-B: projection into the expectation basis. *)
+    Test.make ~name:(name "projection")
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Projection.project
+                ~tol:r.Core.Pipeline.config.projection_tol basis kept)));
+    (* Section V: the specialized QRCP. *)
+    Test.make ~name:(name "special-qrcp")
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Special_qrcp.factor ~alpha:r.Core.Pipeline.config.alpha
+                r.Core.Pipeline.x)));
+    (* Baseline Algorithm 1 on the same X. *)
+    Test.make ~name:(name "standard-qrcp-baseline")
+      (Staged.stage (fun () -> ignore (Linalg.Qrcp.factor r.Core.Pipeline.x)));
+    (* Section VI / Tables V-VIII: the least-squares metric solve. *)
+    Test.make ~name:(name "metric-lstsq")
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Metric_solver.define_all ~xhat:r.Core.Pipeline.xhat
+                ~names:r.Core.Pipeline.chosen_names ~basis
+                (Core.Category.signatures category))));
+  ]
+
+let fig3_test =
+  lazy
+    [
+      Test.make ~name:"dcache/fig3-panels"
+        (Staged.stage (fun () -> ignore (Core.Report.fig3_panels (Lazy.force dc))));
+    ]
+
+let substrate_tests =
+  [
+    (* The simulators that stand in for the paper's hardware. *)
+    Test.make ~name:"substrate/pointer-chase-8k"
+      (Staged.stage (fun () ->
+           let h = Cachesim.Hierarchy.create Cachesim.Hierarchy.default_config in
+           let rng = Numkit.Rng.create 1L in
+           let chain =
+             Cachesim.Pointer_chase.make ~base:0L ~pointers:512 ~stride_bytes:64
+               (Cachesim.Pointer_chase.Shuffled rng)
+           in
+           ignore (Cachesim.Pointer_chase.run h chain ~accesses:8192 ~warmup:true)));
+    Test.make ~name:"substrate/branch-engine-4k-iters"
+      (Staged.stage (fun () ->
+           let k = Branchsim.Kernels.find "k08_taken_if_random_shadow_never" in
+           ignore
+             (Branchsim.Engine.run ~warmup:64
+                ~predictor:(Branchsim.Predictor.default ())
+                ~slots:k.Branchsim.Kernels.slots ~iterations:4096 ())));
+    Test.make ~name:"substrate/gpu-kernel"
+      (Staged.stage (fun () ->
+           let d = Gpusim.Device.create () in
+           Gpusim.Device.run d
+             (Gpusim.Kernel.flops_kernel ~op:Gpusim.Isa.Vfma
+                ~precision:Gpusim.Isa.F64 ~unroll:64 ~iterations:256
+                ~wavefronts:4)));
+    Test.make ~name:"substrate/householder-qr-48x16"
+      (Staged.stage
+         (let a =
+            Linalg.Mat.init 48 16 (fun i j ->
+                float_of_int (((i * 31) + (j * 17)) mod 97) /. 7.0)
+          in
+          fun () -> ignore (Linalg.Qr.factor a)));
+    Test.make ~name:"substrate/spr-catalog-measure-rep"
+      (Staged.stage (fun () ->
+           let rows = Cat_bench.Flops_kernels.rows in
+           List.iter
+             (fun e ->
+               ignore (Hwsim.Machine.measure_vector ~seed:"bench" ~rep:0 e rows))
+             Hwsim.Catalog_sapphire_rapids.events));
+  ]
+
+let extension_tests =
+  lazy
+    (let cpu_result = Lazy.force cpu in
+     let apps = Cat_bench.App_workloads.all () in
+     [
+       (* Cross-architecture analysis (Zen catalog, ~130 events). *)
+       Test.make ~name:"ext/zen-pipeline"
+         (Staged.stage (fun () ->
+              ignore
+                (Core.Pipeline.run_custom
+                   ~config:(Core.Pipeline.default_config Core.Category.Cpu_flops)
+                   ~category:Core.Category.Cpu_flops
+                   ~dataset:(Cat_bench.Dataset.zen_flops ())
+                   ~basis:(Core.Category.basis Core.Category.Cpu_flops)
+                   ~signatures:(Core.Category.signatures Core.Category.Cpu_flops)
+                   ())));
+       (* PAPI preset derivation from a finished result. *)
+       Test.make ~name:"ext/preset-derive"
+         (Staged.stage (fun () -> ignore (Core.Preset.derive cpu_result)));
+       (* Metric validation on the six application workloads. *)
+       Test.make ~name:"ext/validate-apps"
+         (Staged.stage (fun () ->
+              ignore (Core.Validate.validate_cpu_flops_metrics cpu_result apps)));
+       (* CSV round trip of the branch dataset. *)
+       Test.make ~name:"ext/csv-roundtrip"
+         (Staged.stage (fun () ->
+              ignore
+                (Cat_bench.Dataset.of_reps_csv ~name:"branch"
+                   (Cat_bench.Dataset.reps_to_csv (Cat_bench.Dataset.branch ())))));
+       (* One multiplexed measurement sweep over the branch rows. *)
+       Test.make ~name:"ext/multiplex-measure"
+         (Staged.stage (fun () ->
+              let cfg =
+                { Cat_bench.Multiplex.default_config with counters = 16 }
+              in
+              List.iteri
+                (fun i e ->
+                  ignore
+                    (Cat_bench.Multiplex.measure cfg ~seed:"bench" ~rep:0 ~row:0
+                       ~event_index:i ~n_events:64 e
+                       Cat_bench.Branch_kernels.rows.(0)))
+                (List.filteri
+                   (fun i _ -> i < 64)
+                   Hwsim.Catalog_sapphire_rapids.events)));
+       (* SVD vs power iteration on the CPU X matrix. *)
+       Test.make ~name:"ext/svd-norm-cpu-x"
+         (Staged.stage (fun () ->
+              ignore (Linalg.Svd.norm2 cpu_result.Core.Pipeline.x)));
+     ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel boilerplate                                                *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let grouped = Test.make_grouped ~name:"eventlab" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let print_results results =
+  Printf.printf "%-44s %16s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 62 '-');
+  let clock = Measure.label Instance.monotonic_clock in
+  let table = Hashtbl.find results clock in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ x ] -> x
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      table []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-44s %16.0f\n" name ns)
+    (List.sort compare rows)
+
+let () =
+  (* Part 1: the reproduction. *)
+  print_endline "######################################################################";
+  print_endline "# Reproduction: every table and figure of the paper                  #";
+  print_endline "######################################################################";
+  print_string (Core.Report.all_tables ());
+  (* Part 2: timings. *)
+  print_endline "######################################################################";
+  print_endline "# Bechamel timings: one benchmark per table/figure stage             #";
+  print_endline "######################################################################";
+  let tests =
+    List.concat_map stage_tests Core.Category.all
+    @ Lazy.force fig3_test @ substrate_tests @ Lazy.force extension_tests
+  in
+  print_results (benchmark tests)

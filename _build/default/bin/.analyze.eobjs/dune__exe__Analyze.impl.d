@@ -1,0 +1,1 @@
+bin/analyze.ml: Arg Cat_bench Cmd Cmdliner Core Format Fun List Option Printf String Term

@@ -1,0 +1,1 @@
+bin/catalog_doc.mli:

@@ -1,0 +1,1 @@
+bin/dataset_dump.ml: Arg Cat_bench Cmd Cmdliner Core Format Term

@@ -1,0 +1,1 @@
+bin/dataset_dump.mli:

@@ -1,0 +1,1 @@
+bin/figures.ml: Arg Array Cmd Cmdliner Core Filename Fun List Printf Term

@@ -1,0 +1,1 @@
+bin/handbook.ml: Core

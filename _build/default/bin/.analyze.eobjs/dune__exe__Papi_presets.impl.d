@@ -1,0 +1,1 @@
+bin/papi_presets.ml: Arg Cmd Cmdliner Core Term

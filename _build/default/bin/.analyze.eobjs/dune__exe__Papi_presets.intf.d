@@ -1,0 +1,1 @@
+bin/papi_presets.mli:

@@ -1,0 +1,1 @@
+bin/reproduce.ml: Core

@@ -1,0 +1,4 @@
+(* Run every ablation sweep and print the structured summary used by
+   EXPERIMENTS.md. *)
+
+let () = print_string (Core.Ablation.summary ())

@@ -1,0 +1,133 @@
+(* Command-line front end: run the analysis pipeline for one or all
+   categories with paper-default or overridden thresholds. *)
+
+open Cmdliner
+
+let category_conv =
+  let parse s =
+    try Ok (Core.Category.of_name s)
+    with Invalid_argument _ ->
+      Error (`Msg (Printf.sprintf "unknown category %S (expected %s)" s
+                     (String.concat ", " (List.map Core.Category.name Core.Category.all))))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Core.Category.name c))
+
+let category =
+  let doc = "Benchmark category: cpu-flops, gpu-flops, branch or dcache. \
+             Omit to run all four." in
+  Arg.(value & opt (some category_conv) None & info [ "c"; "category" ] ~docv:"CATEGORY" ~doc)
+
+let tau =
+  let doc = "Noise threshold (max RNMSE) above which an event is discarded; \
+             defaults to the paper's per-category value." in
+  Arg.(value & opt (some float) None & info [ "tau" ] ~docv:"TAU" ~doc)
+
+let alpha =
+  let doc = "Rounding tolerance of the specialized QRCP; defaults to the \
+             paper's per-category value." in
+  Arg.(value & opt (some float) None & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+
+let proj_tol =
+  let doc = "Relative-residual tolerance for accepting an event's \
+             representation in the expectation basis." in
+  Arg.(value & opt (some float) None & info [ "projection-tol" ] ~docv:"TOL" ~doc)
+
+let reps =
+  let doc = "Benchmark repetitions used for the noise analysis." in
+  Arg.(value & opt int Cat_bench.Dataset.default_reps & info [ "reps" ] ~docv:"N" ~doc)
+
+let sections =
+  let doc = "Comma-separated sections to print: summary, fig2, signatures, \
+             chosen, trace, metrics, fig3, all." in
+  Arg.(value & opt string "summary,chosen,metrics" & info [ "show" ] ~docv:"SECTIONS" ~doc)
+
+let auto_tau =
+  let doc = "Select the noise threshold automatically: walk the variability \
+             bands (largest gap first) until the QRCP recovers at least \
+             $(docv) independent events." in
+  Arg.(value & opt (some int) None & info [ "auto-tau" ] ~docv:"MIN_RANK" ~doc)
+
+let csv_file =
+  let doc = "Read measurements from a CSV file in the dataset_dump --reps \
+             format instead of running the simulated benchmarks.  Requires \
+             --category to select the expectation basis and signatures." in
+  Arg.(value & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_category ?csv ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections category =
+  let tau =
+    match auto_tau with
+    | None -> tau
+    | Some min_rank ->
+      let s = Core.Auto_threshold.select ~category ~min_rank () in
+      Printf.printf
+        "auto-tau: selected %.3e (gap ratio %.1e, keeps %d events)\n"
+        s.Core.Auto_threshold.tau s.Core.Auto_threshold.gap_ratio
+        s.Core.Auto_threshold.below;
+      Some s.Core.Auto_threshold.tau
+  in
+  let default = Core.Pipeline.default_config category in
+  let config =
+    {
+      Core.Pipeline.tau = Option.value tau ~default:default.Core.Pipeline.tau;
+      alpha = Option.value alpha ~default:default.Core.Pipeline.alpha;
+      projection_tol =
+        Option.value proj_tol ~default:default.Core.Pipeline.projection_tol;
+      reps;
+    }
+  in
+  let r =
+    match csv with
+    | None -> Core.Pipeline.run ~config category
+    | Some path ->
+      let dataset =
+        Cat_bench.Dataset.of_reps_csv
+          ~name:(Core.Category.name category)
+          (read_file path)
+      in
+      Core.Pipeline.run_custom ~config ~category ~dataset
+        ~basis:(Core.Category.basis category)
+        ~signatures:(Core.Category.signatures category) ()
+  in
+  let wants s = List.mem s sections || List.mem "all" sections in
+  if wants "summary" then print_string (Core.Report.filter_summary r);
+  if wants "fig2" then print_string (Core.Report.fig2_text r);
+  if wants "signatures" then print_string (Core.Report.signature_table category);
+  if wants "chosen" then print_string (Core.Report.chosen_events r);
+  if wants "trace" then print_string (Core.Report.qrcp_trace r);
+  if wants "metrics" then print_string (Core.Report.metric_table r);
+  if wants "fig3" && category = Core.Category.Dcache then
+    print_string (Core.Report.fig3_text r);
+  print_newline ()
+
+let main category tau alpha proj_tol reps sections csv auto_tau =
+  let sections = String.split_on_char ',' sections |> List.map String.trim in
+  match (csv, category) with
+  | Some _, None ->
+    prerr_endline "analyze: --csv requires --category";
+    exit 2
+  | Some _, Some c ->
+    run_category ?csv ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections c
+  | None, Some c -> run_category ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections c
+  | None, None ->
+    List.iter
+      (run_category ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections)
+      Core.Category.all
+
+let cmd =
+  let doc =
+    "Map raw hardware events to performance metrics via noise filtering, \
+     expectation-basis projection, specialized QRCP and least squares"
+  in
+  let info = Cmd.info "analyze" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
+      $ csv_file $ auto_tau)
+
+let () = exit (Cmd.eval cmd)

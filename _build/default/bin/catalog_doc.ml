@@ -1,0 +1,20 @@
+(* Render one of the simulated machines' event catalogs as Markdown. *)
+
+let () =
+  match Sys.argv with
+  | [| _; "spr" |] ->
+    print_string
+      (Hwsim.Docgen.catalog_markdown
+         ~title:"Simulated Intel Sapphire Rapids event catalog"
+         Hwsim.Catalog_sapphire_rapids.events)
+  | [| _; "zen" |] ->
+    print_string
+      (Hwsim.Docgen.catalog_markdown ~title:"Simulated AMD Zen event catalog"
+         Hwsim.Catalog_zen.events)
+  | [| _; "mi250x" |] ->
+    print_string
+      (Hwsim.Docgen.catalog_markdown ~title:"Simulated AMD MI250X event catalog"
+         Hwsim.Catalog_mi250x.events)
+  | _ ->
+    prerr_endline "usage: catalog_doc (spr|zen|mi250x)";
+    exit 2

@@ -1,0 +1,37 @@
+(* Dump a benchmark dataset (mean measurement vector per event) as
+   CSV, for offline analysis with other tools. *)
+
+open Cmdliner
+
+let category_conv =
+  let parse s =
+    try Ok (Core.Category.of_name s)
+    with Invalid_argument _ -> Error (`Msg ("unknown category " ^ s))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Core.Category.name c))
+
+let category =
+  Arg.(required
+       & pos 0 (some category_conv) None
+       & info [] ~docv:"CATEGORY" ~doc:"cpu-flops, gpu-flops, branch or dcache")
+
+let reps =
+  Arg.(value & opt int Cat_bench.Dataset.default_reps
+       & info [ "reps" ] ~docv:"N" ~doc:"Benchmark repetitions")
+
+let full =
+  Arg.(value & flag
+       & info [ "full" ]
+           ~doc:"Emit every repetition vector (the lossless format \
+                 analyze --csv reads back) instead of per-event means.")
+
+let main category reps full =
+  let dataset = Core.Category.dataset ~reps category in
+  if full then print_string (Cat_bench.Dataset.reps_to_csv dataset)
+  else print_string (Cat_bench.Dataset.to_csv dataset)
+
+let cmd =
+  let info = Cmd.info "dataset_dump" ~doc:"Dump CAT benchmark measurements as CSV" in
+  Cmd.v info Term.(const main $ category $ reps $ full)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,3 @@
+(* Emit the Markdown handbook of every derived metric. *)
+
+let () = print_string (Core.Report.handbook ())

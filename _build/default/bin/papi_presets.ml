@@ -1,0 +1,23 @@
+(* Export derived PAPI-style preset definitions for the simulated
+   machines, as text or JSON. *)
+
+open Cmdliner
+
+let format_arg =
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"Output format: text or json.")
+
+let main format =
+  let presets = Core.Preset.derive_all () in
+  match format with
+  | `Text -> print_string (Core.Preset.to_text presets)
+  | `Json -> print_endline (Core.Preset.to_json presets)
+
+let cmd =
+  let info =
+    Cmd.info "papi_presets"
+      ~doc:"Derive PAPI-style preset definitions from the event analysis"
+  in
+  Cmd.v info Term.(const main $ format_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,7 @@
+(* Print the machine-checked reproduction scorecard; exit non-zero if
+   any claim fails, so CI can gate on the reproduction itself. *)
+
+let () =
+  let verdicts = Core.Experiment.check_all () in
+  print_string (Core.Experiment.scorecard verdicts);
+  exit (if Core.Experiment.all_pass verdicts then 0 else 1)

@@ -1,0 +1,1 @@
+examples/arithmetic_intensity.ml: Cat_bench Core Float Hwsim List Printf String

@@ -1,0 +1,1 @@
+examples/arithmetic_intensity.mli:

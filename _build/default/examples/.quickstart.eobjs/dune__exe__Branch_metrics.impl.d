@@ -1,0 +1,1 @@
+examples/branch_metrics.ml: Array Branchsim Core List Printf String

@@ -1,0 +1,1 @@
+examples/branch_metrics.mli:

@@ -1,0 +1,1 @@
+examples/cache_metrics.ml: Array Cat_bench Core Float List Printf String

@@ -1,0 +1,1 @@
+examples/cross_architecture.ml: Array Cat_bench Core List Printf String

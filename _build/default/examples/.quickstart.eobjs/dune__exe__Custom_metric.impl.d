@@ -1,0 +1,1 @@
+examples/custom_metric.ml: Array Core List Printf String

@@ -1,0 +1,1 @@
+examples/gpu_metrics.ml: Array Core List Printf

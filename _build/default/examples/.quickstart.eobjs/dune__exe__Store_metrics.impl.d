@@ -1,0 +1,1 @@
+examples/store_metrics.ml: Array Cat_bench Core Hwsim List Printf String

@@ -1,0 +1,1 @@
+examples/store_metrics.mli:

@@ -1,0 +1,1 @@
+examples/validate_on_app.ml: Cat_bench Core Float Format Hwsim List Printf

@@ -1,0 +1,1 @@
+examples/validate_on_app.mli:

@@ -1,0 +1,1 @@
+lib/branchsim/engine.ml: List Pattern Predictor

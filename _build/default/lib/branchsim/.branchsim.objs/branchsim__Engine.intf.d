@@ -1,0 +1,1 @@
+lib/branchsim/engine.mli: Pattern Predictor

@@ -1,0 +1,1 @@
+lib/branchsim/kernels.ml: Engine List Pattern Printf

@@ -1,0 +1,1 @@
+lib/branchsim/kernels.mli: Engine

@@ -1,0 +1,1 @@
+lib/branchsim/pattern.ml: Array Numkit Printf

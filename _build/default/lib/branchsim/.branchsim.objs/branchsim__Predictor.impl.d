@@ -1,0 +1,1 @@
+lib/branchsim/predictor.ml: Array Hashtbl

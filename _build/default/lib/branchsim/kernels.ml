@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  description : string;
+  slots : Engine.slot list;
+}
+
+let cond ?(shadow = 0) pattern = Engine.Cond { pattern; shadow }
+
+let if_taken ?(shadow = 0) guard body = Engine.If_taken { guard; shadow; body }
+
+let taken = Pattern.Always_taken
+let never = Pattern.Never_taken
+
+(* Each kernel with an unpredictable branch gets its own fixed seed:
+   the stream is a property of the kernel, shared by all repetitions. *)
+let rand k = Pattern.Random (Printf.sprintf "cat-branch-kernel-%d" k)
+
+let all =
+  [
+    { name = "k01_taken_alternate";
+      description = "always-taken branch followed by an alternating branch";
+      slots = [ cond taken; cond Pattern.Alternate ] };
+    { name = "k02_taken_never";
+      description = "always-taken branch followed by a never-taken branch";
+      slots = [ cond taken; cond never ] };
+    { name = "k03_taken_taken";
+      description = "two always-taken branches";
+      slots = [ cond taken; cond taken ] };
+    { name = "k04_taken_random";
+      description = "always-taken branch followed by an unpredictable branch";
+      slots = [ cond taken; cond (rand 4) ] };
+    { name = "k05_taken_if_random_never";
+      description = "taken branch; unpredictable guard; never-taken branch in guarded block";
+      slots = [ cond taken; if_taken (rand 5) [ cond never ] ] };
+    { name = "k06_taken_if_random_taken";
+      description = "taken branch; unpredictable guard; taken branch in guarded block";
+      slots = [ cond taken; if_taken (rand 6) [ cond taken ] ] };
+    { name = "k07_taken_random_shadow";
+      description = "taken branch; unpredictable branch with one wrong-path branch";
+      slots = [ cond taken; cond ~shadow:1 (rand 7) ] };
+    { name = "k08_taken_if_random_shadow_never";
+      description =
+        "taken branch; unpredictable guard with one wrong-path branch; \
+         never-taken branch in guarded block";
+      slots = [ cond taken; if_taken ~shadow:1 (rand 8) [ cond never ] ] };
+    { name = "k09_taken_if_random_shadow_taken";
+      description =
+        "taken branch; unpredictable guard with one wrong-path branch; \
+         taken branch in guarded block";
+      slots = [ cond taken; if_taken ~shadow:1 (rand 9) [ cond taken ] ] };
+    { name = "k10_taken_never_uncond";
+      description = "taken branch, never-taken branch, unconditional branch";
+      slots = [ cond taken; cond never; Engine.Uncond ] };
+    { name = "k11_taken";
+      description = "single always-taken branch";
+      slots = [ cond taken ] };
+  ]
+
+let expectation_row k =
+  match k.name with
+  | "k01_taken_alternate" -> [| 2.0; 2.0; 1.5; 0.0; 0.0 |]
+  | "k02_taken_never" -> [| 2.0; 2.0; 1.0; 0.0; 0.0 |]
+  | "k03_taken_taken" -> [| 2.0; 2.0; 2.0; 0.0; 0.0 |]
+  | "k04_taken_random" -> [| 2.0; 2.0; 1.5; 0.0; 0.5 |]
+  | "k05_taken_if_random_never" -> [| 2.5; 2.5; 1.5; 0.0; 0.5 |]
+  | "k06_taken_if_random_taken" -> [| 2.5; 2.5; 2.0; 0.0; 0.5 |]
+  | "k07_taken_random_shadow" -> [| 2.5; 2.0; 1.5; 0.0; 0.5 |]
+  | "k08_taken_if_random_shadow_never" -> [| 3.0; 2.5; 1.5; 0.0; 0.5 |]
+  | "k09_taken_if_random_shadow_taken" -> [| 3.0; 2.5; 2.0; 0.0; 0.5 |]
+  | "k10_taken_never_uncond" -> [| 2.0; 2.0; 1.0; 1.0; 0.0 |]
+  | "k11_taken" -> [| 1.0; 1.0; 1.0; 0.0; 0.0 |]
+  | other -> invalid_arg ("Kernels.expectation_row: unknown kernel " ^ other)
+
+let find name = List.find (fun k -> k.name = name) all

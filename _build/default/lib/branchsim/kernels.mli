@@ -1,0 +1,37 @@
+(** The eleven CAT branching microkernels.
+
+    Each kernel is a slot list whose per-iteration expected counters
+    reproduce one row of the paper's branching expectation matrix
+    (Eq. 3):
+
+    {v
+        CE   CR   T    D    M
+    1   2    2    1.5  0    0     taken + alternating
+    2   2    2    1    0    0     taken + never-taken
+    3   2    2    2    0    0     taken + taken
+    4   2    2    1.5  0    0.5   taken + random
+    5   2.5  2.5  1.5  0    0.5   taken + if(random){never-taken}
+    6   2.5  2.5  2    0    0.5   taken + if(random){taken}
+    7   2.5  2    1.5  0    0.5   taken + random w/ 1 wrong-path branch
+    8   3    2.5  1.5  0    0.5   taken + if(random, 1 wrong-path){never-taken}
+    9   3    2.5  2    0    0.5   taken + if(random, 1 wrong-path){taken}
+    10  2    2    1    1    0     taken + never-taken + unconditional
+    11  1    1    1    0    0     taken
+    v} *)
+
+type t = {
+  name : string;
+  description : string;
+  slots : Engine.slot list;
+}
+
+val all : t list
+(** The kernels in paper row order (length 11). *)
+
+val expectation_row : t -> float array
+(** The idealized per-iteration (CE, CR, T, D, M) row from Eq. 3.
+    The engine's measured counters divided by iterations converge to
+    this row (the random entries to within sampling accuracy). *)
+
+val find : string -> t
+(** Lookup by name; raises [Not_found]. *)

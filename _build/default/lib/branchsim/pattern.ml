@@ -1,0 +1,37 @@
+type t =
+  | Always_taken
+  | Never_taken
+  | Alternate
+  | Periodic of bool array
+  | Random of string
+
+let outcome p i =
+  match p with
+  | Always_taken -> true
+  | Never_taken -> false
+  | Alternate -> i mod 2 = 0
+  | Periodic block ->
+    if Array.length block = 0 then invalid_arg "Pattern.outcome: empty period";
+    block.(i mod Array.length block)
+  | Random seed ->
+    (* One fresh splitmix64 draw per occurrence keeps the function
+       pure in (seed, i). *)
+    let rng = Numkit.Rng.of_string (Printf.sprintf "%s#%d" seed i) in
+    Numkit.Rng.bool rng
+
+let outcomes p ~n = Array.init n (outcome p)
+
+let taken_fraction p ~n =
+  if n <= 0 then invalid_arg "Pattern.taken_fraction: n <= 0";
+  let taken = ref 0 in
+  for i = 0 to n - 1 do
+    if outcome p i then incr taken
+  done;
+  float_of_int !taken /. float_of_int n
+
+let describe = function
+  | Always_taken -> "always-taken"
+  | Never_taken -> "never-taken"
+  | Alternate -> "alternate"
+  | Periodic b -> Printf.sprintf "periodic(%d)" (Array.length b)
+  | Random seed -> Printf.sprintf "random(%s)" seed

@@ -1,0 +1,111 @@
+type kind =
+  | Static_taken
+  | Two_bit of { entries : int }
+  | Local of { history_bits : int }
+  | Gshare of { history_bits : int; entries : int }
+
+(* Two-bit saturating counter: 0,1 predict not-taken; 2,3 predict
+   taken.  Initialized weakly taken (2). *)
+let counter_predict c = c >= 2
+let counter_update c taken = if taken then min 3 (c + 1) else max 0 (c - 1)
+
+type local_state = {
+  hist_mask : int;
+  (* per-branch history and pattern tables, grown on demand *)
+  histories : (int, int ref) Hashtbl.t;
+  tables : (int, int array) Hashtbl.t;
+}
+
+type gshare_state = {
+  g_hist_mask : int;
+  g_mask : int;
+  g_table : int array;
+  mutable ghist : int;
+}
+
+type state =
+  | S_static
+  | S_two_bit of { mask : int; table : int array }
+  | S_local of local_state
+  | S_gshare of gshare_state
+
+type t = { kind : kind; state : state }
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let create kind =
+  let state =
+    match kind with
+    | Static_taken -> S_static
+    | Two_bit { entries } ->
+      if not (is_pow2 entries) then invalid_arg "Predictor.create: entries not a power of 2";
+      S_two_bit { mask = entries - 1; table = Array.make entries 2 }
+    | Local { history_bits } ->
+      if history_bits < 1 || history_bits > 20 then
+        invalid_arg "Predictor.create: history_bits out of range";
+      S_local
+        { hist_mask = (1 lsl history_bits) - 1;
+          histories = Hashtbl.create 16;
+          tables = Hashtbl.create 16 }
+    | Gshare { history_bits; entries } ->
+      if not (is_pow2 entries) then invalid_arg "Predictor.create: entries not a power of 2";
+      S_gshare
+        { g_hist_mask = (1 lsl history_bits) - 1;
+          g_mask = entries - 1;
+          g_table = Array.make entries 2;
+          ghist = 0 }
+  in
+  { kind; state }
+
+let local_slot s branch =
+  let hist =
+    match Hashtbl.find_opt s.histories branch with
+    | Some h -> h
+    | None ->
+      let h = ref 0 in
+      Hashtbl.add s.histories branch h;
+      h
+  in
+  let table =
+    match Hashtbl.find_opt s.tables branch with
+    | Some t -> t
+    | None ->
+      let t = Array.make (s.hist_mask + 1) 2 in
+      Hashtbl.add s.tables branch t;
+      t
+  in
+  (hist, table)
+
+let predict t ~branch =
+  match t.state with
+  | S_static -> true
+  | S_two_bit { mask; table } -> counter_predict table.(branch land mask)
+  | S_local s ->
+    let hist, table = local_slot s branch in
+    counter_predict table.(!hist land s.hist_mask)
+  | S_gshare s ->
+    counter_predict s.g_table.((branch lxor s.ghist) land s.g_mask)
+
+let update t ~branch ~taken =
+  match t.state with
+  | S_static -> ()
+  | S_two_bit { mask; table } ->
+    let i = branch land mask in
+    table.(i) <- counter_update table.(i) taken
+  | S_local s ->
+    let hist, table = local_slot s branch in
+    let i = !hist land s.hist_mask in
+    table.(i) <- counter_update table.(i) taken;
+    hist := ((!hist lsl 1) lor (if taken then 1 else 0)) land s.hist_mask
+  | S_gshare s ->
+    let i = (branch lxor s.ghist) land s.g_mask in
+    s.g_table.(i) <- counter_update s.g_table.(i) taken;
+    s.ghist <- ((s.ghist lsl 1) lor (if taken then 1 else 0)) land s.g_hist_mask
+
+let kind_name = function
+  | Static_taken -> "static-taken"
+  | Two_bit _ -> "two-bit"
+  | Local _ -> "local"
+  | Gshare _ -> "gshare"
+
+let default () = create (Local { history_bits = 6 })

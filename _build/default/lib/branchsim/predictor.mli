@@ -1,0 +1,37 @@
+(** Branch direction predictors.
+
+    The engine needs a predictor that (i) learns the static and
+    short-periodic patterns of the CAT kernels essentially perfectly
+    after warmup and (ii) mispredicts unpredictable branches about
+    half the time — the behaviour the paper's E_branch matrix encodes
+    (M column entries of 0 and 0.5).  The default is a per-branch
+    two-level local-history predictor; a plain two-bit table, gshare,
+    and static-taken are provided for comparison experiments. *)
+
+type t
+
+type kind =
+  | Static_taken
+  | Two_bit of { entries : int }
+      (** Direct-mapped table of saturating two-bit counters indexed
+          by branch id. *)
+  | Local of { history_bits : int }
+      (** Two-level: per-branch history register selecting a
+          per-branch two-bit counter.  Learns any pattern of period
+          <= [history_bits] exactly. *)
+  | Gshare of { history_bits : int; entries : int }
+      (** Global-history xor branch-id indexed two-bit table. *)
+
+val create : kind -> t
+
+val predict : t -> branch:int -> bool
+(** Predicted direction for static branch [branch].  Does not update
+    any state. *)
+
+val update : t -> branch:int -> taken:bool -> unit
+(** Commit the resolved outcome: trains tables and shifts history. *)
+
+val kind_name : kind -> string
+
+val default : unit -> t
+(** [Local { history_bits = 6 }]. *)

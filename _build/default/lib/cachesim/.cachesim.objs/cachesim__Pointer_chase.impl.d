@@ -1,0 +1,1 @@
+lib/cachesim/pointer_chase.ml: Array Hierarchy Int64 Numkit Option Prefetcher Tlb

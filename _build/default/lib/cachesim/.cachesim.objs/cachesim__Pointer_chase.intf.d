@@ -1,0 +1,1 @@
+lib/cachesim/pointer_chase.mli: Hierarchy Numkit Prefetcher Tlb

@@ -1,0 +1,1 @@
+lib/cachesim/prefetcher.ml: Hierarchy Int64

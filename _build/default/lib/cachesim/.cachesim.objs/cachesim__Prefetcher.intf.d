@@ -1,0 +1,1 @@
+lib/cachesim/prefetcher.mli: Hierarchy

@@ -1,0 +1,1 @@
+lib/cachesim/replacement.ml: Array Numkit

@@ -1,0 +1,149 @@
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  policy : Replacement.kind;
+}
+
+type t = {
+  cfg : config;
+  nsets : int;
+  line_shift : int;
+  (* tags.(set).(way) = line tag, or -1L when invalid. *)
+  tags : int64 array array;
+  dirty : bool array array;
+  repl : Replacement.t;
+  mutable demand_hits : int;
+  mutable demand_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+  mutable writebacks : int;
+  mutable evictions : int;
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let config_valid c =
+  c.size_bytes > 0 && c.ways > 0 && is_pow2 c.line_bytes
+  && c.size_bytes mod (c.ways * c.line_bytes) = 0
+  && is_pow2 (c.size_bytes / (c.ways * c.line_bytes))
+
+let log2 x =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
+let create cfg =
+  if not (config_valid cfg) then invalid_arg "Cache.create: invalid geometry";
+  let nsets = cfg.size_bytes / (cfg.ways * cfg.line_bytes) in
+  {
+    cfg;
+    nsets;
+    line_shift = log2 cfg.line_bytes;
+    tags = Array.make_matrix nsets cfg.ways (-1L);
+    dirty = Array.make_matrix nsets cfg.ways false;
+    repl = Replacement.create cfg.policy ~sets:nsets ~ways:cfg.ways;
+    demand_hits = 0;
+    demand_misses = 0;
+    write_hits = 0;
+    write_misses = 0;
+    writebacks = 0;
+    evictions = 0;
+  }
+
+let sets t = t.nsets
+let ways t = t.cfg.ways
+let line_bytes t = t.cfg.line_bytes
+let size_bytes t = t.cfg.size_bytes
+
+type outcome = Hit | Miss
+
+let line_of t addr = Int64.shift_right_logical addr t.line_shift
+
+let set_of t line = Int64.to_int (Int64.rem line (Int64.of_int t.nsets))
+
+let find_way t set line =
+  let rec go w =
+    if w >= t.cfg.ways then None
+    else if t.tags.(set).(w) = line then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let find_invalid t set =
+  let rec go w =
+    if w >= t.cfg.ways then None
+    else if t.tags.(set).(w) = -1L then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let fill ?(dirty = false) t set line =
+  let way =
+    match find_invalid t set with
+    | Some w -> w
+    | None ->
+      t.evictions <- t.evictions + 1;
+      let victim = Replacement.victim t.repl ~set in
+      if t.dirty.(set).(victim) then t.writebacks <- t.writebacks + 1;
+      victim
+  in
+  t.tags.(set).(way) <- line;
+  t.dirty.(set).(way) <- dirty;
+  Replacement.on_fill t.repl ~set ~way
+
+let access t addr =
+  let line = line_of t addr in
+  let set = set_of t line in
+  match find_way t set line with
+  | Some way ->
+    t.demand_hits <- t.demand_hits + 1;
+    Replacement.on_hit t.repl ~set ~way;
+    Hit
+  | None ->
+    t.demand_misses <- t.demand_misses + 1;
+    fill t set line;
+    Miss
+
+let write t addr =
+  let line = line_of t addr in
+  let set = set_of t line in
+  match find_way t set line with
+  | Some way ->
+    t.write_hits <- t.write_hits + 1;
+    t.dirty.(set).(way) <- true;
+    Replacement.on_hit t.repl ~set ~way;
+    Hit
+  | None ->
+    t.write_misses <- t.write_misses + 1;
+    fill ~dirty:true t set line;
+    Miss
+
+let probe t addr =
+  let line = line_of t addr in
+  find_way t (set_of t line) line <> None
+
+let fill_prefetch t addr =
+  let line = line_of t addr in
+  let set = set_of t line in
+  match find_way t set line with
+  | Some way -> Replacement.on_hit t.repl ~set ~way
+  | None -> fill t set line
+
+let invalidate_all t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1L)) t.tags;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) false) t.dirty
+
+let demand_hits t = t.demand_hits
+let demand_misses t = t.demand_misses
+let write_hits t = t.write_hits
+let write_misses t = t.write_misses
+let writebacks t = t.writebacks
+let evictions t = t.evictions
+
+let reset_counters t =
+  t.demand_hits <- 0;
+  t.demand_misses <- 0;
+  t.write_hits <- 0;
+  t.write_misses <- 0;
+  t.writebacks <- 0;
+  t.evictions <- 0

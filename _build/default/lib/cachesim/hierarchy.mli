@@ -1,0 +1,67 @@
+(** Three-level inclusive-ish cache hierarchy with a memory backstop.
+
+    Models the load path the CAT data-cache benchmark exercises: each
+    demand load probes L1, then L2, then L3; the line is filled into
+    every level it missed in (no back-invalidation — adequate for the
+    single-workload runs used here).  Counters distinguish demand hits
+    and demand misses per level, mirroring the raw events the paper
+    analyzes ([MEM_LOAD_RETIRED:L1_HIT], [L2_RQSTS:DEMAND_DATA_RD_HIT],
+    ...). *)
+
+type t
+
+type level = L1 | L2 | L3 | Memory
+
+type config = { l1 : Cache.config; l2 : Cache.config; l3 : Cache.config }
+
+val default_config : config
+(** A scaled-down Sapphire-Rapids-like hierarchy (4 KiB / 32 KiB /
+    256 KiB, 64-byte lines, LRU) chosen so pointer-chase buffers that
+    straddle each level stay cheap to simulate while preserving the
+    hit/miss structure of the real machine. *)
+
+val create : config -> t
+
+val load : t -> int64 -> level
+(** Demand load of one address; returns the level that served it. *)
+
+val store : t -> int64 -> level
+(** Write-allocate store: the line is brought to L1 (via L2/L3 as
+    needed, counted as demand traffic there) and dirtied.  Returns
+    the level the line was found in. *)
+
+val writebacks : t -> int
+(** Dirty L1 lines evicted so far (write traffic toward L2). *)
+
+type write_counters = {
+  w_l1_hit : int;  (** Stores that hit L1. *)
+  w_l1_miss : int;  (** Stores that write-allocated. *)
+  w_writebacks : int;  (** Dirty L1 evictions. *)
+}
+
+val write_counters : t -> write_counters
+
+val warm : t -> int64 array -> unit
+(** Touch every address once without counting (counter reset after);
+    used to separate cold-miss effects in tests. *)
+
+val prefetch_fill : t -> int64 -> unit
+(** Insert a line into L1 and L2 without touching demand counters —
+    the entry point hardware prefetchers use. *)
+
+type counters = {
+  accesses : int;
+  l1_hit : int;
+  l1_miss : int;
+  l2_hit : int;
+  l2_miss : int;
+  l3_hit : int;
+  l3_miss : int;  (** = memory accesses *)
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val level_capacity : t -> level -> int
+(** Capacity in bytes ([max_int] for [Memory]). *)
+
+val pp_counters : Format.formatter -> counters -> unit

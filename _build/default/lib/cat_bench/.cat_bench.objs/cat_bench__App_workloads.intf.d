@@ -1,0 +1,1 @@
+lib/cat_bench/app_workloads.mli: Hwsim

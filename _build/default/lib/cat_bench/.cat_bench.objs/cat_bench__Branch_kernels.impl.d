@@ -1,0 +1,1 @@
+lib/cat_bench/branch_kernels.ml: Array Branchsim Hwsim List

@@ -1,0 +1,1 @@
+lib/cat_bench/cache_kernels.ml: Array Cachesim Hwsim List Numkit Printf

@@ -1,0 +1,1 @@
+lib/cat_bench/cache_kernels.mli: Hwsim

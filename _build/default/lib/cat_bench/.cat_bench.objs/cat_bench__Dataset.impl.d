@@ -1,0 +1,1 @@
+lib/cat_bench/dataset.ml: Array Branch_kernels Buffer Cache_kernels Flops_kernels Gpu_kernels Hashtbl Hwsim List Numkit Printf String

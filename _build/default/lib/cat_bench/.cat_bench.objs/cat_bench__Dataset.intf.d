@@ -1,0 +1,1 @@
+lib/cat_bench/dataset.mli: Hwsim

@@ -1,0 +1,1 @@
+lib/cat_bench/flops_kernels.ml: Array Cpusim Hwsim List Printf

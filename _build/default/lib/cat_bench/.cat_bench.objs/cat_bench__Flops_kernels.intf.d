@@ -1,0 +1,1 @@
+lib/cat_bench/flops_kernels.mli: Hwsim

@@ -1,0 +1,1 @@
+lib/cat_bench/gpu_kernels.ml: Array Gpusim Hwsim List Printf

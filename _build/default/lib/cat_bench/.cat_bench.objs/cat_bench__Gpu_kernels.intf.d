@@ -1,0 +1,1 @@
+lib/cat_bench/gpu_kernels.mli: Hwsim

@@ -1,0 +1,1 @@
+lib/cat_bench/ideal.ml: Array Branch_kernels Cache_kernels Flops_kernels Gpu_kernels Hwsim List

@@ -1,0 +1,1 @@
+lib/cat_bench/ideal.mli: Hwsim

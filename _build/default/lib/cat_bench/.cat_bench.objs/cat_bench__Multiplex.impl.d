@@ -1,0 +1,1 @@
+lib/cat_bench/multiplex.ml: Array Branch_kernels Dataset Hwsim List Numkit Printf

@@ -1,0 +1,1 @@
+lib/cat_bench/multiplex.mli: Dataset Hwsim

@@ -1,0 +1,1 @@
+lib/cat_bench/store_kernels.ml: Array Cachesim Float Hwsim Ideal Int64 List Numkit Printf

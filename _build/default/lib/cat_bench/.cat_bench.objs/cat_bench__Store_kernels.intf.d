@@ -1,0 +1,1 @@
+lib/cat_bench/store_kernels.mli: Hwsim Ideal

@@ -1,0 +1,173 @@
+module Keys = Hwsim.Keys
+module Activity = Hwsim.Activity
+
+type t = {
+  name : string;
+  description : string;
+  activity : Activity.t;
+}
+
+let base_overhead a ~iters ~loads ~stores ~l1_miss_fraction =
+  Activity.add a Keys.branch_cond_exec iters;
+  Activity.add a Keys.branch_cond_retired iters;
+  Activity.add a Keys.branch_taken iters;
+  Activity.add a Keys.core_int_ops (2.0 *. iters);
+  let misses = loads *. l1_miss_fraction in
+  Activity.add a Keys.cache_loads loads;
+  Activity.add a Keys.cache_l1_dh (loads -. misses);
+  Activity.add a Keys.cache_l1_dm misses;
+  Activity.add a Keys.cache_l2_dh (0.8 *. misses);
+  Activity.add a Keys.cache_l2_dm (0.2 *. misses);
+  Activity.add a Keys.cache_l3_dh (0.15 *. misses);
+  Activity.add a Keys.cache_l3_dm (0.05 *. misses);
+  Activity.add a Keys.core_stores stores
+
+let finish a name description =
+  let instructions =
+    List.fold_left
+      (fun acc k -> acc +. Activity.get a k)
+      (Activity.get a Keys.branch_cond_retired
+      +. Activity.get a Keys.branch_uncond
+      +. Activity.get a Keys.core_int_ops
+      +. Activity.get a Keys.cache_loads
+      +. Activity.get a Keys.core_stores)
+      Keys.all_flops
+  in
+  Activity.set a Keys.core_instructions instructions;
+  Activity.set a Keys.core_uops (1.1 *. instructions);
+  Activity.set a Keys.core_cycles (0.6 *. instructions);
+  { name; description; activity = a }
+
+let daxpy ~n =
+  let a = Activity.create () in
+  let fn = float_of_int n in
+  (* One AVX-256 DP FMA covers 4 elements. *)
+  Activity.add a (Keys.flops ~precision:Keys.Double ~width:Keys.W256 ~fma:true)
+    (fn /. 4.0);
+  base_overhead a ~iters:(fn /. 4.0) ~loads:(2.0 *. fn /. 4.0)
+    ~stores:(fn /. 4.0) ~l1_miss_fraction:0.1;
+  finish a "daxpy" "y = a*x + y, AVX-256 double, streaming"
+
+let saxpy_avx512 ~n =
+  let a = Activity.create () in
+  let fn = float_of_int n in
+  (* One AVX-512 SP FMA covers 16 elements. *)
+  Activity.add a (Keys.flops ~precision:Keys.Single ~width:Keys.W512 ~fma:true)
+    (fn /. 16.0);
+  base_overhead a ~iters:(fn /. 16.0) ~loads:(2.0 *. fn /. 16.0)
+    ~stores:(fn /. 16.0) ~l1_miss_fraction:0.08;
+  finish a "saxpy-avx512" "y = a*x + y, AVX-512 single, streaming"
+
+let dot_product_scalar ~n =
+  let a = Activity.create () in
+  let fn = float_of_int n in
+  (* One scalar multiply and one scalar add per element. *)
+  Activity.add a (Keys.flops ~precision:Keys.Double ~width:Keys.Scalar ~fma:false)
+    (2.0 *. fn);
+  base_overhead a ~iters:fn ~loads:(2.0 *. fn) ~stores:1.0 ~l1_miss_fraction:0.02;
+  finish a "dot-scalar" "unvectorized double dot product"
+
+let stencil_3pt ~n =
+  let a = Activity.create () in
+  let fn = float_of_int n in
+  (* Two AVX-128 adds and one scalar multiply per vector of 2. *)
+  Activity.add a (Keys.flops ~precision:Keys.Double ~width:Keys.W128 ~fma:false)
+    fn;
+  Activity.add a (Keys.flops ~precision:Keys.Double ~width:Keys.Scalar ~fma:false)
+    (fn /. 2.0);
+  base_overhead a ~iters:(fn /. 2.0) ~loads:(3.0 *. fn /. 2.0)
+    ~stores:(fn /. 2.0) ~l1_miss_fraction:0.25;
+  finish a "stencil-3pt" "three-point DP stencil, streaming misses"
+
+let branchy_search ~n =
+  let a = Activity.create () in
+  let fn = float_of_int n in
+  (* Each probe: two conditional branches, one data-dependent (taken
+     half the time, mispredicted ~45%). *)
+  Activity.add a Keys.branch_cond_exec (2.0 *. fn);
+  Activity.add a Keys.branch_cond_retired (2.0 *. fn);
+  Activity.add a Keys.branch_taken (1.5 *. fn);
+  Activity.add a Keys.branch_misp (0.45 *. fn);
+  Activity.add a Keys.core_int_ops (3.0 *. fn);
+  Activity.add a Keys.cache_loads fn;
+  Activity.add a Keys.cache_l1_dh (0.6 *. fn);
+  Activity.add a Keys.cache_l1_dm (0.4 *. fn);
+  Activity.add a Keys.cache_l2_dh (0.3 *. fn);
+  Activity.add a Keys.cache_l2_dm (0.1 *. fn);
+  Activity.add a Keys.cache_l3_dh (0.08 *. fn);
+  Activity.add a Keys.cache_l3_dm (0.02 *. fn);
+  finish a "branchy-search" "binary search over a large array"
+
+let spmv_csr ~rows ~nnz_per_row =
+  let a = Activity.create () in
+  let nnz = float_of_int (rows * nnz_per_row) in
+  (* One scalar DP multiply-add per nonzero (unvectorizable gather). *)
+  Activity.add a (Keys.flops ~precision:Keys.Double ~width:Keys.Scalar ~fma:false)
+    (2.0 *. nnz);
+  (* Value + column index + gathered x element per nonzero; the
+     gather misses often. *)
+  base_overhead a ~iters:nnz ~loads:(3.0 *. nnz) ~stores:(float_of_int rows)
+    ~l1_miss_fraction:0.3;
+  finish a "spmv-csr" "CSR sparse matrix-vector product, irregular gathers"
+
+let memcpy_like ~bytes =
+  let a = Activity.create () in
+  (* 64-byte chunks: one wide load and one wide store each. *)
+  let chunks = float_of_int (bytes / 64) in
+  base_overhead a ~iters:chunks ~loads:chunks ~stores:chunks
+    ~l1_miss_fraction:1.0;
+  finish a "memcpy-like" "pure streaming copy, no arithmetic"
+
+let fft_radix2 ~n =
+  let a = Activity.create () in
+  let fn = float_of_int n in
+  let stages = Float.round (Float.log (fn) /. Float.log 2.0) in
+  (* Each stage: n/8 AVX-256 SP butterflies, ~10 FLOPs each via FMA. *)
+  let fma_instrs = stages *. fn /. 8.0 *. 5.0 in
+  Activity.add a (Keys.flops ~precision:Keys.Single ~width:Keys.W256 ~fma:true)
+    fma_instrs;
+  (* Later stages stride past L1. *)
+  base_overhead a ~iters:(stages *. fn /. 8.0) ~loads:(stages *. fn /. 4.0)
+    ~stores:(stages *. fn /. 8.0) ~l1_miss_fraction:0.15;
+  finish a "fft-radix2" "radix-2 FFT butterflies, stride-degraded locality"
+
+let mixed_hpc_app () =
+  let parts =
+    [ daxpy ~n:1_000_000; saxpy_avx512 ~n:500_000; dot_product_scalar ~n:200_000;
+      stencil_3pt ~n:400_000; branchy_search ~n:100_000 ]
+  in
+  let merged =
+    List.fold_left
+      (fun acc p -> Activity.merge acc p.activity)
+      (Activity.create ()) parts
+  in
+  { name = "mixed-hpc-app";
+    description = "phase mix of all synthetic application kernels";
+    activity = merged }
+
+let all () =
+  [ daxpy ~n:1_000_000; saxpy_avx512 ~n:500_000; dot_product_scalar ~n:200_000;
+    stencil_3pt ~n:400_000; branchy_search ~n:100_000;
+    spmv_csr ~rows:10_000 ~nnz_per_row:20; memcpy_like ~bytes:4_194_304;
+    fft_radix2 ~n:65_536; mixed_hpc_app () ]
+
+let widths = [ Keys.Scalar; Keys.W128; Keys.W256; Keys.W512 ]
+
+let true_ops ~precision t =
+  List.fold_left
+    (fun acc (width, fma) ->
+      acc
+      +. Activity.get t.activity (Keys.flops ~precision ~width ~fma)
+         *. float_of_int (Keys.fp_ops_per_instr ~precision ~width ~fma))
+    0.0
+    (List.concat_map (fun w -> [ (w, false); (w, true) ]) widths)
+
+let true_instrs ~precision t =
+  List.fold_left
+    (fun acc (width, fma) ->
+      let weight = if fma then 2.0 else 1.0 in
+      acc +. (weight *. Activity.get t.activity (Keys.flops ~precision ~width ~fma)))
+    0.0
+    (List.concat_map (fun w -> [ (w, false); (w, true) ]) widths)
+
+let true_mispredicts t = Activity.get t.activity Keys.branch_misp

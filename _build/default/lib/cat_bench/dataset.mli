@@ -1,0 +1,78 @@
+(** Benchmark datasets: every catalog event measured over every
+    benchmark row, for several repetitions.
+
+    This is the hand-off point between the simulated hardware and the
+    paper's analysis: a dataset is exactly what running a CAT
+    benchmark under PAPI produces — one measurement vector per event
+    per repetition, nothing else. *)
+
+type measurement = {
+  event : Hwsim.Event.t;
+  reps : float array list;  (** One vector per repetition. *)
+}
+
+type t = {
+  name : string;
+  row_labels : string array;
+  reps : int;
+  measurements : measurement list;
+}
+
+val default_reps : int
+(** 5 repetitions, as a CAT campaign would use. *)
+
+val of_activities :
+  name:string -> seed:string -> reps:int -> events:Hwsim.Event.t list ->
+  rows:Hwsim.Activity.t array -> row_labels:string array -> t
+(** Generic collection: measure every event over every row, [reps]
+    times, with noise streams derived from [seed]. *)
+
+val cpu_flops : ?reps:int -> unit -> t
+(** CPU-FLOPs benchmark on the Sapphire Rapids catalog (48 rows). *)
+
+val branch : ?reps:int -> unit -> t
+(** Branching benchmark on the Sapphire Rapids catalog (11 rows). *)
+
+val gpu_flops : ?reps:int -> unit -> t
+(** GPU-FLOPs benchmark on the MI250X catalog (45 rows). *)
+
+val zen_flops : ?reps:int -> unit -> t
+(** The same CPU-FLOPs benchmark run on the simulated AMD Zen-class
+    machine ([Hwsim.Catalog_zen]) — input for the cross-architecture
+    portability demonstration. *)
+
+val dcache : ?reps:int -> unit -> t
+(** Data-cache benchmark on the Sapphire Rapids catalog (16 rows).
+    Each repetition's vector entry is the {e median} across the 8
+    measuring threads, the noise-suppression step of Section IV. *)
+
+val dcache_reduced : ?reps:int -> [ `Median | `Mean ] -> t
+(** The data-cache benchmark with an explicit thread-reduction
+    choice; [`Mean] is the ablation showing why the paper uses the
+    median. *)
+
+val find : t -> string -> measurement
+(** Lookup a measurement by event name; raises [Not_found]. *)
+
+val filter_events : (Hwsim.Event.t -> bool) -> t -> t
+(** Keep only matching events (rows and repetitions unchanged). *)
+
+val merge : t -> t -> t
+(** Combine two datasets over the same benchmark rows (labels and
+    repetition counts must agree; event names must be disjoint).
+    Use case: datasets measured in separate counter-group sessions. *)
+
+val to_csv : t -> string
+(** Mean measurement vector per event, one CSV line per event. *)
+
+val reps_to_csv : t -> string
+(** Full export: header [event,rep,<row labels>] then one line per
+    (event, repetition) pair.  Lossless counterpart of {!to_csv}. *)
+
+val of_reps_csv : name:string -> string -> t
+(** Parse the {!reps_to_csv} format.  Events are reconstructed as
+    opaque named events (no semantics, [Exact] noise tag — the noise
+    lives in the data itself), which is exactly what an import of
+    {e real} CAT measurements looks like: the analysis only ever uses
+    names and numbers.  Raises [Failure] with a line number on
+    malformed input. *)

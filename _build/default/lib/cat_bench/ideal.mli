@@ -1,0 +1,32 @@
+(** Ideal-event vectors: the raw material of the expectation bases.
+
+    An "ideal event" (paper Section III-B) is a concept we wish the
+    hardware counted directly — e.g. strictly DP-AVX256-FMA
+    instructions.  Our simulators know the ground truth, so the ideal
+    vectors are direct reads of single activity keys over the
+    benchmark rows.  The data-cache basis uses the {e idealized} rows
+    (perfect step functions), mirroring the hand-crafted expectations
+    of the paper. *)
+
+type ideal = {
+  label : string;  (** Paper symbol, e.g. ["D256_FMA"], ["CE"], ["AH"]. *)
+  key : string;  (** Activity key the symbol reads. *)
+  vector : float array;  (** Value per benchmark row. *)
+}
+
+val cpu_flops : unit -> ideal list
+(** 16 ideals over the 48 CPU-FLOPs rows, Table I order. *)
+
+val branch : unit -> ideal list
+(** 5 ideals (CE, CR, T, D, M) over the 11 branching rows. *)
+
+val branch_of_rows : Hwsim.Activity.t array -> ideal list
+(** The branching ideals over caller-supplied rows (e.g. rows
+    produced under a different predictor). *)
+
+val gpu_flops : unit -> ideal list
+(** 15 ideals (AH ... FD) over the 45 GPU rows, Table II order. *)
+
+val dcache : unit -> ideal list
+(** 4 ideals (L1DM, L1DH, L2DH, L3DH) over the 16 idealized cache
+    rows. *)

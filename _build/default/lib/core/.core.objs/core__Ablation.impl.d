@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Branchsim Buffer Cat_bench Category Expectation Float Hwsim List Metric_solver Noise_filter Pipeline Printf Projection Special_qrcp

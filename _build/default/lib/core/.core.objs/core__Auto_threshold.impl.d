@@ -1,0 +1,1 @@
+lib/core/auto_threshold.ml: Array Category List Noise_filter Pipeline

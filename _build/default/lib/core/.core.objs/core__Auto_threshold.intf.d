@@ -1,0 +1,1 @@
+lib/core/auto_threshold.mli: Category

@@ -1,0 +1,1 @@
+lib/core/bootstrap.ml: Array Cat_bench Category Format Linalg List Metric_solver Numkit Pipeline Projection Signature

@@ -1,0 +1,1 @@
+lib/core/category.ml: Cat_bench Expectation Signature

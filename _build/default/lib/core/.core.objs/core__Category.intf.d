@@ -1,0 +1,1 @@
+lib/core/category.mli: Cat_bench Expectation Signature

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Buffer Combination List Metric_solver Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/expectation.ml: Array Cat_bench Format Linalg List String

@@ -1,0 +1,1 @@
+lib/core/expectation.mli: Cat_bench Format Linalg

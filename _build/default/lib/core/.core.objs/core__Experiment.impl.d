@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Buffer Category Combination Float Hashtbl Hwsim List Metric_solver Noise_filter Pipeline Printf Report String

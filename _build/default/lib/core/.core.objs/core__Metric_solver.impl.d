@@ -1,0 +1,1 @@
+lib/core/metric_solver.ml: Array Combination Linalg List Signature

@@ -1,0 +1,1 @@
+lib/core/metric_solver.mli: Combination Expectation Linalg Signature

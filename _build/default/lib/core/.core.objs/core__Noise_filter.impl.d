@@ -1,0 +1,1 @@
+lib/core/noise_filter.ml: Array Cat_bench Float Hwsim List Numkit

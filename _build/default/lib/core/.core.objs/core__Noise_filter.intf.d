@@ -1,0 +1,1 @@
+lib/core/noise_filter.mli: Cat_bench Hwsim

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Cat_bench Category Expectation Linalg List Metric_solver Noise_filter Projection Special_qrcp

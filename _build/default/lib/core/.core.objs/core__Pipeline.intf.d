@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cat_bench Category Expectation Linalg Metric_solver Noise_filter Projection Signature

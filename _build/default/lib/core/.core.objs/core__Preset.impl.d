@@ -1,0 +1,1 @@
+lib/core/preset.ml: Buffer Category Combination Json List Metric_solver Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/core/preset.mli: Category Combination Pipeline

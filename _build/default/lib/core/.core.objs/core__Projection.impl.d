@@ -1,0 +1,1 @@
+lib/core/projection.ml: Array Expectation Hwsim Linalg List Noise_filter

@@ -1,0 +1,1 @@
+lib/core/projection.mli: Expectation Hwsim Linalg Noise_filter

@@ -1,0 +1,1 @@
+lib/core/roofline.ml: Float Format

@@ -1,0 +1,1 @@
+lib/core/signature.ml: Array Expectation Hashtbl List

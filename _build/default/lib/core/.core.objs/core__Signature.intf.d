@@ -1,0 +1,1 @@
+lib/core/signature.mli: Expectation Linalg

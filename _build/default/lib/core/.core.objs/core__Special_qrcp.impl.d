@@ -1,0 +1,1 @@
+lib/core/special_qrcp.ml: Array Float Format Linalg List Printf

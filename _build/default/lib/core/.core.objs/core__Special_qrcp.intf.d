@@ -1,0 +1,1 @@
+lib/core/special_qrcp.mli: Format Linalg

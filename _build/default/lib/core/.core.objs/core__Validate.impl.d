@@ -1,0 +1,1 @@
+lib/core/validate.ml: Cat_bench Float Format Hwsim List Metric_solver Pipeline

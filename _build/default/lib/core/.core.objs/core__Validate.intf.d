@@ -1,0 +1,1 @@
+lib/core/validate.mli: Cat_bench Combination Format Hwsim Metric_solver Pipeline

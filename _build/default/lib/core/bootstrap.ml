@@ -1,0 +1,108 @@
+type interval = {
+  point : float;
+  lo : float;
+  hi : float;
+}
+
+let width i = i.hi -. i.lo
+
+type metric_ci = {
+  metric : string;
+  error_ci : interval;
+  coefficient_cis : (string * interval) list;
+}
+
+let resample_dataset rng (d : Cat_bench.Dataset.t) =
+  if d.reps < 1 then invalid_arg "Bootstrap.resample_dataset: no repetitions";
+  (* Paired: one index draw shared by every event, because a
+     repetition is a single benchmark execution observed by all
+     counters. *)
+  let picks = Array.init d.reps (fun _ -> Numkit.Rng.int rng d.reps) in
+  let measurements =
+    List.map
+      (fun (m : Cat_bench.Dataset.measurement) ->
+        let reps_arr = Array.of_list m.reps in
+        { m with reps = Array.to_list (Array.map (fun i -> reps_arr.(i)) picks) })
+      d.measurements
+  in
+  { d with measurements }
+
+(* Re-run projection + least squares for the chosen events over a
+   (resampled) dataset; the basis and chosen set come from the
+   original result. *)
+let solve_once (result : Pipeline.result) (d : Cat_bench.Dataset.t) =
+  let basis = result.Pipeline.basis in
+  let chosen_means =
+    Array.map
+      (fun name ->
+        let m = Cat_bench.Dataset.find d name in
+        Numkit.Stats.elementwise_mean m.Cat_bench.Dataset.reps)
+      result.Pipeline.chosen_names
+  in
+  let columns =
+    Array.map
+      (fun mean -> fst (Projection.project_one basis ~mean))
+      chosen_means
+  in
+  let xhat = Linalg.Mat.of_cols columns in
+  List.map
+    (fun (s : Signature.t) ->
+      Metric_solver.define ~xhat ~names:result.Pipeline.chosen_names
+        ~signature:(Signature.to_vector s basis) ~metric:s.Signature.metric)
+    (Category.signatures result.Pipeline.category)
+
+let percentile_interval ~point values q_lo q_hi =
+  {
+    point;
+    lo = Numkit.Stats.quantile values q_lo;
+    hi = Numkit.Stats.quantile values q_hi;
+  }
+
+let analyze ?(samples = 200) ?(seed = "bootstrap") ~(result : Pipeline.result)
+    ~dataset () =
+  if samples < 2 then invalid_arg "Bootstrap.analyze: samples < 2";
+  let rng = Numkit.Rng.of_string seed in
+  let replicates =
+    List.init samples (fun _ -> solve_once result (resample_dataset rng dataset))
+  in
+  let signatures = Category.signatures result.Pipeline.category in
+  List.mapi
+    (fun mi (s : Signature.t) ->
+      let point = Pipeline.metric result s.Signature.metric in
+      let sampled =
+        List.map (fun defs -> List.nth defs mi) replicates
+      in
+      let errors =
+        Array.of_list
+          (List.map (fun (d : Metric_solver.metric_def) -> d.Metric_solver.error) sampled)
+      in
+      let coefficient_cis =
+        Array.to_list
+          (Array.mapi
+             (fun j name ->
+               let values =
+                 Array.of_list
+                   (List.map
+                      (fun (d : Metric_solver.metric_def) ->
+                        fst (List.nth d.Metric_solver.combination j))
+                      sampled)
+               in
+               let p = fst (List.nth point.Metric_solver.combination j) in
+               (name, percentile_interval ~point:p values 0.025 0.975))
+             result.Pipeline.chosen_names)
+      in
+      {
+        metric = s.Signature.metric;
+        error_ci =
+          percentile_interval ~point:point.Metric_solver.error errors 0.025 0.975;
+        coefficient_cis;
+      })
+    signatures
+
+let pp_metric_ci ppf ci =
+  Format.fprintf ppf "%s: error %.3e [%.3e, %.3e]@." ci.metric ci.error_ci.point
+    ci.error_ci.lo ci.error_ci.hi;
+  List.iter
+    (fun (name, i) ->
+      Format.fprintf ppf "    %+.5f [%+.5f, %+.5f]  %s@." i.point i.lo i.hi name)
+    ci.coefficient_cis

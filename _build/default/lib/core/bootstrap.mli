@@ -1,0 +1,42 @@
+(** Bootstrap uncertainty for metric definitions.
+
+    The paper's future work asks for more rigorous treatment of
+    measurement noise.  This module quantifies it: benchmark
+    repetitions are resampled with replacement (paired across events
+    — a repetition is one benchmark execution), the projection and
+    least-squares stages are re-run conditional on the chosen event
+    set, and the spread of the resulting coefficients and backward
+    errors gives percentile confidence intervals.
+
+    For exact events the intervals collapse to points; for the noisy
+    cache events they quantify exactly how much trust the
+    coefficient-rounding step (Section VI-D) is consuming. *)
+
+type interval = {
+  point : float;  (** Estimate from the full dataset. *)
+  lo : float;  (** 2.5th percentile across bootstrap samples. *)
+  hi : float;  (** 97.5th percentile. *)
+}
+
+val width : interval -> float
+
+type metric_ci = {
+  metric : string;
+  error_ci : interval;
+  coefficient_cis : (string * interval) list;
+      (** One per chosen event, pick order. *)
+}
+
+val resample_dataset : Numkit.Rng.t -> Cat_bench.Dataset.t -> Cat_bench.Dataset.t
+(** One bootstrap replicate: repetition indices drawn with
+    replacement, applied to every event (paired resampling). *)
+
+val analyze :
+  ?samples:int -> ?seed:string -> result:Pipeline.result ->
+  dataset:Cat_bench.Dataset.t -> unit -> metric_ci list
+(** [samples] defaults to 200, [seed] to ["bootstrap"].  The chosen
+    event set and the QRCP decision are held fixed (inference is
+    conditional on selection, the standard practice); only the
+    measured vectors vary. *)
+
+val pp_metric_ci : Format.formatter -> metric_ci -> unit

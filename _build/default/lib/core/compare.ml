@@ -1,0 +1,97 @@
+type availability = {
+  machine : string;
+  available : bool;
+  error : float;
+  combination : Combination.t;
+}
+
+type row = {
+  metric : string;
+  per_machine : availability list;
+}
+
+let metric_names (r : Pipeline.result) =
+  List.map (fun (d : Metric_solver.metric_def) -> d.Metric_solver.metric)
+    r.Pipeline.metrics
+
+let compare results =
+  match results with
+  | [] -> []
+  | (_, first) :: rest ->
+    let names = metric_names first in
+    List.iter
+      (fun (_, r) ->
+        if metric_names r <> names then
+          invalid_arg "Compare.compare: results have different metric sets")
+      rest;
+    List.map
+      (fun metric ->
+        let per_machine =
+          List.map
+            (fun (machine, (r : Pipeline.result)) ->
+              let d = Pipeline.metric r metric in
+              let available = Metric_solver.well_defined ~threshold:1e-6 d in
+              {
+                machine;
+                available;
+                error = d.Metric_solver.error;
+                combination =
+                  (if available then
+                     Combination.round_coefficients
+                       (Combination.drop_negligible ~eps:1e-6
+                          d.Metric_solver.combination)
+                   else []);
+              })
+            results
+        in
+        { metric; per_machine })
+      names
+
+let to_text rows =
+  let buf = Buffer.create 4096 in
+  (match rows with
+   | [] -> ()
+   | first :: _ ->
+     Printf.bprintf buf "%-36s" "metric";
+     List.iter
+       (fun a -> Printf.bprintf buf " %-28s" a.machine)
+       first.per_machine;
+     Buffer.add_char buf '\n');
+  List.iter
+    (fun row ->
+      Printf.bprintf buf "%-36s" row.metric;
+      List.iter
+        (fun a ->
+          Printf.bprintf buf " %-28s"
+            (if a.available then Printf.sprintf "yes (err %.1e)" a.error
+             else Printf.sprintf "NO (err %.1e)" a.error))
+        row.per_machine;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let portable_metrics rows =
+  List.filter_map
+    (fun row ->
+      if List.for_all (fun a -> a.available) row.per_machine then Some row.metric
+      else None)
+    rows
+
+let machine_specific rows =
+  match rows with
+  | [] -> []
+  | first :: _ ->
+    List.mapi
+      (fun i a ->
+        ( a.machine,
+          List.filter_map
+            (fun row ->
+              let mine = List.nth row.per_machine i in
+              let others_cannot =
+                List.for_all
+                  (fun (j, other) -> j = i || not other.available)
+                  (List.mapi (fun j o -> (j, o)) row.per_machine)
+              in
+              if mine.available && others_cannot then Some row.metric else None)
+            rows ))
+      first.per_machine

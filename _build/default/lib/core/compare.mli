@@ -1,0 +1,34 @@
+(** Cross-machine metric availability comparison.
+
+    The practical question behind the paper — "which of my metrics
+    survive a port to the new machine?" — answered as a table: for
+    each metric, whether each machine's events can compose it, and
+    with what recipe.  Rows come from any number of pipeline results
+    sharing a signature set (e.g. the Sapphire Rapids and Zen CPU
+    FLOPs analyses). *)
+
+type availability = {
+  machine : string;
+  available : bool;
+  error : float;
+  combination : Combination.t;  (** Rounded recipe when available. *)
+}
+
+type row = {
+  metric : string;
+  per_machine : availability list;
+}
+
+val compare : (string * Pipeline.result) list -> row list
+(** [(machine label, result)] pairs; results must share metric names
+    (they may come from [run_custom] with the same signature list).
+    Raises [Invalid_argument] on mismatched metric sets. *)
+
+val to_text : row list -> string
+(** Availability matrix plus the recipes. *)
+
+val portable_metrics : row list -> string list
+(** Metrics available on every machine. *)
+
+val machine_specific : row list -> (string * string list) list
+(** For each machine, the metrics only it can compose. *)

@@ -1,0 +1,22 @@
+(** Minimal JSON emission (no parsing, no dependencies).
+
+    Used to export derived presets and experiment records in a form
+    other tools can consume.  Numbers are printed with [%.17g] so a
+    round-trip through a standards-compliant parser preserves
+    doubles. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed with [indent] spaces per level (default 2);
+    strings are escaped per RFC 8259.  Non-finite numbers are emitted
+    as [null] (JSON has no representation for them). *)
+
+val escape_string : string -> string
+(** The quoted, escaped form of a string (exposed for tests). *)

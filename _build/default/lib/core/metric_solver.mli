@@ -1,0 +1,33 @@
+(** Metric definition by least squares (paper Section VI).
+
+    Given the independent-event matrix X-hat chosen by the
+    specialized QRCP, each metric signature s is fitted as
+    [X-hat y = s]; the solution y is the recipe — which raw events,
+    with which scale factors, compose the metric — and the backward
+    error (Eq. 5) is the fitness: tiny for composable metrics,
+    order-one when the architecture simply lacks the counters. *)
+
+type metric_def = {
+  metric : string;
+  combination : Combination.t;  (** One term per X-hat column, pick order. *)
+  error : float;  (** Backward error of Eq. 5. *)
+  residual_norm : float;
+}
+
+val define :
+  xhat:Linalg.Mat.t -> names:string array -> signature:Linalg.Vec.t ->
+  metric:string -> metric_def
+
+val define_all :
+  xhat:Linalg.Mat.t -> names:string array -> basis:Expectation.t ->
+  Signature.t list -> metric_def list
+
+val well_defined : ?threshold:float -> metric_def -> bool
+(** Error below [threshold] (default [1e-6]): the metric is
+    composable on this architecture. *)
+
+val display_combination : metric_def -> Combination.t
+(** The combination as the paper's tables print it: negligible terms
+    dropped for well-defined metrics, everything kept (full
+    precision) for undefinable ones, so the reader can see the
+    near-zero coefficients. *)

@@ -1,0 +1,64 @@
+type status = Kept | Too_noisy | All_zero
+
+type measure = Max_rnmse | Mean_rnmse | Max_relative_range
+
+type classified = {
+  event : Hwsim.Event.t;
+  variability : float;
+  mean : float array;
+  status : status;
+}
+
+let apply_measure measure reps =
+  match measure with
+  | Max_rnmse -> Numkit.Stats.max_rnmse reps
+  | Mean_rnmse -> Numkit.Stats.mean_rnmse reps
+  | Max_relative_range -> Numkit.Stats.max_relative_range reps
+
+let measure_name = function
+  | Max_rnmse -> "max-rnmse"
+  | Mean_rnmse -> "mean-rnmse"
+  | Max_relative_range -> "max-relative-range"
+
+let classify ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
+  List.map
+    (fun (m : Cat_bench.Dataset.measurement) ->
+      let mean = Numkit.Stats.elementwise_mean m.reps in
+      let every_rep_zero = List.for_all Numkit.Stats.all_zero m.reps in
+      if every_rep_zero then
+        (* Footnote 1: an event that never fires is irrelevant. *)
+        { event = m.event; variability = 0.0; mean; status = All_zero }
+      else begin
+        let variability = apply_measure measure m.reps in
+        (* Non-finite variability (NaN readings from a corrupt import)
+           must never classify as clean. *)
+        let status =
+          if variability > tau || not (Float.is_finite variability) then Too_noisy
+          else Kept
+        in
+        { event = m.event; variability; mean; status }
+      end)
+    dataset.measurements
+
+let kept classified = List.filter (fun c -> c.status = Kept) classified
+
+let count classified status =
+  List.length (List.filter (fun c -> c.status = status) classified)
+
+let variability_series classified =
+  let plotted =
+    List.filter_map
+      (fun c ->
+        match c.status with
+        | All_zero -> None
+        | Kept | Too_noisy -> Some (c.event.Hwsim.Event.name, c.variability))
+      classified
+  in
+  let arr = Array.of_list plotted in
+  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
+  arr
+
+let status_name = function
+  | Kept -> "kept"
+  | Too_noisy -> "too-noisy"
+  | All_zero -> "all-zero"

@@ -1,0 +1,73 @@
+type config = {
+  tau : float;
+  alpha : float;
+  projection_tol : float;
+  reps : int;
+}
+
+let default_config category =
+  {
+    tau = Category.tau category;
+    alpha = Category.alpha category;
+    projection_tol = Category.projection_tol category;
+    reps = Cat_bench.Dataset.default_reps;
+  }
+
+type result = {
+  category : Category.t;
+  config : config;
+  basis : Expectation.t;
+  basis_diagnostics : Expectation.diagnostics;
+  classified : Noise_filter.classified list;
+  projected : Projection.projected list;
+  x : Linalg.Mat.t;
+  x_names : string array;
+  chosen : int array;
+  chosen_names : string array;
+  xhat : Linalg.Mat.t;
+  metrics : Metric_solver.metric_def list;
+}
+
+let run_custom ~config ~category ~dataset ~basis ~signatures () =
+  let classified = Noise_filter.classify ~tau:config.tau dataset in
+  let projected =
+    Projection.project ~tol:config.projection_tol basis
+      (Noise_filter.kept classified)
+  in
+  let x, x_names = Projection.to_matrix projected in
+  let qr = Special_qrcp.factor ~alpha:config.alpha x in
+  let chosen = Array.sub qr.Special_qrcp.perm 0 qr.Special_qrcp.rank in
+  let chosen_names = Array.map (fun j -> x_names.(j)) chosen in
+  let xhat = Linalg.Mat.select_cols x chosen in
+  let metrics = Metric_solver.define_all ~xhat ~names:chosen_names ~basis signatures in
+  {
+    category;
+    config;
+    basis;
+    basis_diagnostics = Expectation.diagnostics basis;
+    classified;
+    projected;
+    x;
+    x_names;
+    chosen;
+    chosen_names;
+    xhat;
+    metrics;
+  }
+
+let run ?config category =
+  let config =
+    match config with Some c -> c | None -> default_config category
+  in
+  run_custom ~config ~category
+    ~dataset:(Category.dataset ~reps:config.reps category)
+    ~basis:(Category.basis category)
+    ~signatures:(Category.signatures category) ()
+
+let run_all () = List.map (fun c -> run c) Category.all
+
+let metric result name =
+  List.find (fun (d : Metric_solver.metric_def) -> d.metric = name) result.metrics
+
+let chosen_set result =
+  List.sort compare (Array.to_list result.chosen_names)

@@ -1,0 +1,54 @@
+(** End-to-end analysis pipeline (the paper, start to finish).
+
+    dataset -> noise filter (τ) -> projection onto the expectation
+    basis -> specialized QRCP (α) -> least-squares metric
+    definitions with backward errors. *)
+
+type config = {
+  tau : float;
+  alpha : float;
+  projection_tol : float;
+  reps : int;
+}
+
+val default_config : Category.t -> config
+
+type result = {
+  category : Category.t;
+  config : config;
+  basis : Expectation.t;
+  basis_diagnostics : Expectation.diagnostics;
+      (** Rank/conditioning of the basis; a degenerate basis is
+          surfaced here rather than producing arbitrary
+          representations silently. *)
+  classified : Noise_filter.classified list;  (** Every event, with status. *)
+  projected : Projection.projected list;  (** Kept events, with residuals. *)
+  x : Linalg.Mat.t;  (** Accepted representations, dim x n. *)
+  x_names : string array;
+  chosen : int array;  (** Column indices into [x], pick order. *)
+  chosen_names : string array;
+  xhat : Linalg.Mat.t;  (** The chosen columns of [x]. *)
+  metrics : Metric_solver.metric_def list;  (** One per signature. *)
+}
+
+val run : ?config:config -> Category.t -> result
+(** Run the full pipeline for one category.  [config] defaults to
+    the category's paper parameters. *)
+
+val run_custom :
+  config:config -> category:Category.t -> dataset:Cat_bench.Dataset.t ->
+  basis:Expectation.t -> signatures:Signature.t list -> unit -> result
+(** Run the pipeline on arbitrary inputs: a dataset from any source
+    (another machine's catalog, CSV-imported real measurements, an
+    ablation variant), any expectation basis, any signature set.
+    [category] only labels the result for reporting. *)
+
+val run_all : unit -> result list
+(** All four categories with default parameters. *)
+
+val metric : result -> string -> Metric_solver.metric_def
+(** Lookup a metric definition by name; raises [Not_found]. *)
+
+val chosen_set : result -> string list
+(** Chosen event names, sorted (for set comparison against the
+    paper's listings). *)

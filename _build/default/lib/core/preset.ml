@@ -1,0 +1,101 @@
+type t = {
+  papi_name : string;
+  metric : string;
+  machine : string;
+  combination : Combination.t;
+  error : float;
+  available : bool;
+}
+
+let definable_threshold = 1e-6
+
+let papi_name_of_metric category metric =
+  match (category, metric) with
+  | Category.Cpu_flops, "SP Ops." -> Some "PAPI_SP_OPS"
+  | Category.Cpu_flops, "DP Ops." -> Some "PAPI_DP_OPS"
+  | Category.Cpu_flops, "SP Instrs." -> Some "PAPI_FSP_INS"
+  | Category.Cpu_flops, "DP Instrs." -> Some "PAPI_FDP_INS"
+  | Category.Cpu_flops, "SP FMA Instrs." -> Some "PAPI_FMA_SP_INS"
+  | Category.Cpu_flops, "DP FMA Instrs." -> Some "PAPI_FMA_DP_INS"
+  | Category.Gpu_flops, "All HP Ops." -> Some "PAPI_GPU_HP_OPS"
+  | Category.Gpu_flops, "All SP Ops." -> Some "PAPI_GPU_SP_OPS"
+  | Category.Gpu_flops, "All DP Ops." -> Some "PAPI_GPU_DP_OPS"
+  | Category.Gpu_flops, "HP Add and Sub Ops." -> Some "PAPI_GPU_HP_ADDSUB_OPS"
+  | Category.Branch, "Unconditional Branches." -> Some "PAPI_BR_UCN"
+  | Category.Branch, "Conditional Branches Retired." -> Some "PAPI_BR_CN"
+  | Category.Branch, "Conditional Branches Taken." -> Some "PAPI_BR_TKN"
+  | Category.Branch, "Conditional Branches Not Taken." -> Some "PAPI_BR_NTK"
+  | Category.Branch, "Mispredicted Branches." -> Some "PAPI_BR_MSP"
+  | Category.Branch, "Correctly Predicted Branches." -> Some "PAPI_BR_PRC"
+  | Category.Dcache, "L1 Misses." -> Some "PAPI_L1_DCM"
+  | Category.Dcache, "L1 Hits." -> Some "PAPI_L1_DCH"
+  | Category.Dcache, "L1 Reads." -> Some "PAPI_L1_DCR"
+  | Category.Dcache, "L2 Hits." -> Some "PAPI_L2_DCH"
+  | Category.Dcache, "L2 Misses." -> Some "PAPI_L2_DCM"
+  | Category.Dcache, "L3 Hits." -> Some "PAPI_L3_DCH"
+  | _ -> None
+
+let derive (result : Pipeline.result) =
+  List.filter_map
+    (fun (d : Metric_solver.metric_def) ->
+      match papi_name_of_metric result.Pipeline.category d.metric with
+      | None -> None
+      | Some papi_name ->
+        let available = d.error < definable_threshold in
+        let combination =
+          if available then
+            Combination.round_coefficients
+              (Combination.drop_negligible ~eps:1e-6 d.combination)
+          else d.combination
+        in
+        Some
+          {
+            papi_name;
+            metric = d.metric;
+            machine = Category.machine result.Pipeline.category;
+            combination;
+            error = d.error;
+            available;
+          })
+    result.Pipeline.metrics
+
+let derive_all () =
+  List.concat_map (fun c -> derive (Pipeline.run c)) Category.all
+
+let to_text presets =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun p ->
+      if p.available then begin
+        Printf.bprintf buf "%s  (%s on %s; backward error %.2e)\n" p.papi_name
+          p.metric p.machine p.error;
+        List.iter
+          (fun line -> Printf.bprintf buf "    %s\n" line)
+          (String.split_on_char '\n' (Combination.to_string p.combination))
+      end
+      else
+        Printf.bprintf buf
+          "%s  UNAVAILABLE on %s (%s; backward error %.2e — no raw events \
+           can compose it)\n"
+          p.papi_name p.machine p.metric p.error)
+    presets;
+  Buffer.contents buf
+
+let to_json presets =
+  let preset_json p =
+    Json.Obj
+      [
+        ("papi_name", Json.Str p.papi_name);
+        ("metric", Json.Str p.metric);
+        ("machine", Json.Str p.machine);
+        ("available", Json.Bool p.available);
+        ("backward_error", Json.Num p.error);
+        ( "combination",
+          Json.List
+            (List.map
+               (fun (c, name) ->
+                 Json.Obj [ ("coefficient", Json.Num c); ("event", Json.Str name) ])
+               p.combination) );
+      ]
+  in
+  Json.to_string (Json.List (List.map preset_json presets))

@@ -1,0 +1,35 @@
+(** Projection of raw events into the expectation basis (paper
+    Section III-B).
+
+    For each kept event, solve [E x_e = m_e] by least squares.  An
+    event whose measurement cannot be represented in the basis —
+    relative residual above the tolerance — is disregarded: it
+    measures something the benchmark's ideal concepts do not span
+    (total instructions, cycles, loop overhead...).  The accepted
+    representations become the columns of the matrix X handed to the
+    specialized QRCP. *)
+
+type projected = {
+  event : Hwsim.Event.t;
+  representation : float array;  (** x_e, in expectation coordinates. *)
+  relative_residual : float;  (** [||E x - m|| / ||m||]. *)
+  accepted : bool;
+}
+
+val project_one :
+  Expectation.t -> mean:float array -> float array * float
+(** [(x_e, relative_residual)] for one mean measurement vector.
+    Falls back to a rank-aware basic solution when the basis is
+    degenerate (see {!Expectation.diagnostics}). *)
+
+val project :
+  tol:float -> Expectation.t -> Noise_filter.classified list -> projected list
+(** Project every event of the (already noise-filtered) list.  The
+    basis is factored once, so the per-event cost is one orthogonal
+    apply plus one back-substitution. *)
+
+val accepted : projected list -> projected list
+
+val to_matrix : projected list -> Linalg.Mat.t * string array
+(** X (dim x n_accepted) and the matching event names, preserving
+    input order.  Only accepted events contribute. *)

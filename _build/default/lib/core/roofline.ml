@@ -1,0 +1,34 @@
+type machine = {
+  flops_per_cycle : float;
+  bytes_per_cycle : float;
+}
+
+let default_machine = { flops_per_cycle = 32.0; bytes_per_cycle = 16.0 }
+
+let ridge_intensity m = m.flops_per_cycle /. m.bytes_per_cycle
+
+type placement = {
+  intensity : float;
+  performance : float;
+  attainable : float;
+  bound : [ `Compute | `Memory ];
+  efficiency : float;
+}
+
+let place m ~flops ~bytes ~cycles =
+  if flops <= 0.0 || bytes <= 0.0 || cycles <= 0.0 then
+    invalid_arg "Roofline.place: inputs must be positive";
+  let intensity = flops /. bytes in
+  let memory_roof = intensity *. m.bytes_per_cycle in
+  let attainable = Float.min m.flops_per_cycle memory_roof in
+  let bound = if memory_roof < m.flops_per_cycle then `Memory else `Compute in
+  let performance = flops /. cycles in
+  { intensity; performance; attainable; bound; efficiency = performance /. attainable }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "intensity %.3f flop/B, %.2f flop/cycle of %.2f attainable (%s-bound, \
+     %.0f%% efficiency)"
+    p.intensity p.performance p.attainable
+    (match p.bound with `Compute -> "compute" | `Memory -> "memory")
+    (100.0 *. p.efficiency)

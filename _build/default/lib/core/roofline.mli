@@ -1,0 +1,35 @@
+(** Roofline placement from derived metrics.
+
+    The Counter Analysis Toolkit lineage exists to feed exactly this
+    kind of model: once FLOPs, memory traffic and cycles are all
+    composable from raw events, a workload can be placed on the
+    roofline without any vendor tooling.  This module does the
+    arithmetic; the inputs come from {!Validate.evaluate_combination}
+    applied to the pipeline's metric definitions. *)
+
+type machine = {
+  flops_per_cycle : float;  (** Peak FP throughput. *)
+  bytes_per_cycle : float;  (** Peak memory bandwidth. *)
+}
+
+val default_machine : machine
+(** 32 FLOPs/cycle (2 x AVX-512 FMA pipes, DP), 16 bytes/cycle —
+    shaped like the simulated core. *)
+
+val ridge_intensity : machine -> float
+(** FLOPs/byte at which the compute and memory roofs meet. *)
+
+type placement = {
+  intensity : float;  (** Measured FLOPs / measured bytes. *)
+  performance : float;  (** Measured FLOPs / measured cycles. *)
+  attainable : float;  (** Roofline bound at this intensity. *)
+  bound : [ `Compute | `Memory ];
+  efficiency : float;  (** performance / attainable, in [0, ~1]. *)
+}
+
+val place :
+  machine -> flops:float -> bytes:float -> cycles:float -> placement
+(** All inputs must be positive; raises [Invalid_argument]
+    otherwise. *)
+
+val pp : Format.formatter -> placement -> unit

@@ -1,0 +1,134 @@
+type result = {
+  perm : int array;
+  rank : int;
+  scores : float array;
+}
+
+let round_value ~alpha u =
+  if alpha <= 0.0 then invalid_arg "Special_qrcp.round_value: alpha <= 0";
+  alpha *. Float.floor ((u /. alpha) +. 0.5)
+
+let score_value v =
+  let v = Float.abs v in
+  if v = 0.0 then 0.0 else if v >= 1.0 then v else 1.0 /. v
+
+let column_score ~alpha col =
+  Array.fold_left (fun acc u -> acc +. score_value (round_value ~alpha u)) 0.0 col
+
+let beta ~alpha ~rows = alpha *. sqrt (float_of_int rows)
+
+let trailing_norm a ~from j =
+  let s = ref 0.0 in
+  for i = from to Linalg.Mat.rows a - 1 do
+    let v = Linalg.Mat.get a i j in
+    s := !s +. (v *. v)
+  done;
+  sqrt !s
+
+type step = {
+  pick : int;
+  score : float;
+  trailing_norm : float;
+  candidates : int;
+  runner_up : int option;
+}
+
+(* get_pivot of Algorithm 2.  Scores are those of the {e original}
+   rounded columns of X — the paper scores X once, up front ("after
+   rounding the values in X, the pivoting scheme scores each column
+   in X"), because the score measures how directly a raw event reads
+   an ideal concept, a property of the event itself, not of its
+   residual against previously chosen events.  Independence is
+   enforced separately: a column whose trailing norm (after
+   orthogonalization against the chosen set) falls below beta is in
+   their span and stops being a candidate.  Ties on score fall back
+   to the smallest trailing norm; norms equal up to floating-point
+   fuzz resolve by original column index so selection is
+   deterministic. *)
+type candidate = { c_j : int; c_orig : int; c_score : float; c_norm : float }
+
+let candidate_order a b =
+  if a.c_score <> b.c_score then compare a.c_score b.c_score
+  else begin
+    let norm_ties =
+      Float.abs (a.c_norm -. b.c_norm) <= 1e-9 *. Float.max a.c_norm b.c_norm
+    in
+    if norm_ties then compare a.c_orig b.c_orig else compare a.c_norm b.c_norm
+  end
+
+let get_pivot a ~perm ~scores0 ~from ~beta_threshold =
+  let n = Linalg.Mat.cols a in
+  let candidates = ref [] in
+  for j = from to n - 1 do
+    let norm = trailing_norm a ~from j in
+    if norm >= beta_threshold then
+      candidates :=
+        { c_j = j; c_orig = perm.(j); c_score = scores0.(perm.(j)); c_norm = norm }
+        :: !candidates
+  done;
+  match List.sort candidate_order !candidates with
+  | [] -> None
+  | best :: rest ->
+    Some
+      ( best,
+        {
+          pick = best.c_orig;
+          score = best.c_score;
+          trailing_norm = best.c_norm;
+          candidates = 1 + List.length rest;
+          runner_up = (match rest with [] -> None | r :: _ -> Some r.c_orig);
+        } )
+
+let factor_traced ~alpha x =
+  let m = Linalg.Mat.rows x and n = Linalg.Mat.cols x in
+  if m = 0 || n = 0 then invalid_arg "Special_qrcp.factor: empty matrix";
+  let a = Linalg.Mat.copy x in
+  let perm = Array.init n (fun j -> j) in
+  let scores0 = Array.init n (fun j -> column_score ~alpha (Linalg.Mat.col x j)) in
+  let steps = min m n in
+  let scores = Array.make steps 0.0 in
+  let beta_threshold = beta ~alpha ~rows:m in
+  let rank = ref 0 in
+  let trace = ref [] in
+  (try
+     for i = 0 to steps - 1 do
+       match get_pivot a ~perm ~scores0 ~from:i ~beta_threshold with
+       | None -> raise Exit
+       | Some (best, step) ->
+         trace := step :: !trace;
+         let pivot = best.c_j in
+         Linalg.Mat.swap_cols a i pivot;
+         let tmp = perm.(i) in
+         perm.(i) <- perm.(pivot);
+         perm.(pivot) <- tmp;
+         scores.(i) <- step.score;
+         (* Orthogonalize the trailing block against the pivot. *)
+         let coli = Array.init (m - i) (fun k -> Linalg.Mat.get a (i + k) i) in
+         let h, beta_r = Linalg.Householder.of_column coli in
+         Linalg.Mat.set a i i beta_r;
+         for r = i + 1 to m - 1 do
+           Linalg.Mat.set a r i 0.0
+         done;
+         Linalg.Householder.apply_to_cols h a ~row0:i ~col0:(i + 1);
+         incr rank
+     done
+   with Exit -> ());
+  ( { perm; rank = !rank; scores = Array.sub scores 0 !rank },
+    List.rev !trace )
+
+let factor ~alpha x = fst (factor_traced ~alpha x)
+
+let chosen_columns ~alpha x =
+  let r = factor ~alpha x in
+  Array.sub r.perm 0 r.rank
+
+let pp_trace ~names ppf steps =
+  List.iteri
+    (fun i (s : step) ->
+      Format.fprintf ppf
+        "step %2d: pick %s (score %.3g, trailing norm %.3g, %d candidates%s)@."
+        (i + 1) names.(s.pick) s.score s.trailing_norm s.candidates
+        (match s.runner_up with
+         | Some r -> Printf.sprintf ", runner-up %s" names.(r)
+         | None -> ""))
+    steps

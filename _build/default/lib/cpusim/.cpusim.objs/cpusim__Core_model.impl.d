@@ -1,0 +1,1 @@
+lib/cpusim/core_model.ml: Array Float Hashtbl Hwsim Isa List Program

@@ -1,0 +1,1 @@
+lib/cpusim/core_model.mli: Hwsim Program

@@ -1,0 +1,1 @@
+lib/cpusim/isa.ml: Hwsim

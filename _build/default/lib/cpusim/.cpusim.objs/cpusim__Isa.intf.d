@@ -1,0 +1,1 @@
+lib/cpusim/isa.mli: Hwsim

@@ -1,0 +1,1 @@
+lib/cpusim/program.ml: Array Isa List Printf

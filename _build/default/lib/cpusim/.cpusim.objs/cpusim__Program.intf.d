@@ -1,0 +1,1 @@
+lib/cpusim/program.mli: Hwsim Isa

@@ -1,0 +1,133 @@
+type config = {
+  issue_width : int;
+  fp_pipes : int;
+  load_ports : int;
+  store_ports : int;
+  taken_branch_bubble : float;
+  loop_overhead_cycles : float;
+}
+
+let default_config =
+  {
+    issue_width = 6;
+    fp_pipes = 2;
+    load_ports = 2;
+    store_ports = 1;
+    taken_branch_bubble = 0.5;
+    loop_overhead_cycles = 8.0;
+  }
+
+type counts = {
+  fp : (string * int) list;
+  int_ops : int;
+  loads : int;
+  stores : int;
+  branches_retired : int;
+  branches_taken : int;
+  instructions : int;
+  cycles : float;
+}
+
+type iter_profile = {
+  p_fp : int;
+  p_int : int;
+  p_loads : int;
+  p_stores : int;
+  p_branches : int;
+  p_total : int;
+}
+
+let profile_body body =
+  Array.fold_left
+    (fun p instr ->
+      let p = { p with p_total = p.p_total + 1 } in
+      match (instr : Isa.instr) with
+      | Isa.Fp _ -> { p with p_fp = p.p_fp + 1 }
+      | Isa.Int_alu -> { p with p_int = p.p_int + 1 }
+      | Isa.Load -> { p with p_loads = p.p_loads + 1 }
+      | Isa.Store -> { p with p_stores = p.p_stores + 1 }
+      | Isa.Branch_back -> { p with p_branches = p.p_branches + 1 })
+    { p_fp = 0; p_int = 0; p_loads = 0; p_stores = 0; p_branches = 0; p_total = 0 }
+    body
+
+let ceil_div a b = float_of_int a /. float_of_int b |> Float.ceil
+
+let iteration_cycles config p =
+  (* Throughput bound: the busiest resource limits the iteration. *)
+  Float.max
+    (ceil_div p.p_fp config.fp_pipes)
+    (Float.max
+       (ceil_div p.p_loads config.load_ports)
+       (Float.max
+          (ceil_div p.p_stores config.store_ports)
+          (ceil_div p.p_total config.issue_width)))
+
+let execute ?(config = default_config) program =
+  Program.validate program;
+  let fp_table : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let int_ops = ref 0
+  and loads = ref 0
+  and stores = ref 0
+  and br_retired = ref 0
+  and br_taken = ref 0
+  and instructions = ref 0
+  and cycles = ref 0.0 in
+  List.iter
+    (fun (l : Program.loop) ->
+      let p = profile_body l.body in
+      (* Architectural counts: exact multiplication. *)
+      Array.iter
+        (fun instr ->
+          match (instr : Isa.instr) with
+          | Isa.Fp { precision; width; fma } ->
+            let key = Hwsim.Keys.flops ~precision ~width ~fma in
+            Hashtbl.replace fp_table key
+              ((match Hashtbl.find_opt fp_table key with Some n -> n | None -> 0)
+              + l.trips)
+          | Isa.Int_alu -> int_ops := !int_ops + l.trips
+          | Isa.Load -> loads := !loads + l.trips
+          | Isa.Store -> stores := !stores + l.trips
+          | Isa.Branch_back ->
+            br_retired := !br_retired + l.trips;
+            (* The final iteration's back-edge falls through. *)
+            br_taken := !br_taken + (l.trips - 1))
+        l.body;
+      instructions := !instructions + (p.p_total * l.trips);
+      (* Timing model. *)
+      let per_iter = iteration_cycles config p in
+      let bubbles =
+        config.taken_branch_bubble *. float_of_int (p.p_branches * (l.trips - 1))
+      in
+      cycles :=
+        !cycles
+        +. (per_iter *. float_of_int l.trips)
+        +. bubbles +. config.loop_overhead_cycles)
+    program;
+  {
+    fp = Hashtbl.fold (fun k v acc -> (k, v) :: acc) fp_table [] |> List.sort compare;
+    int_ops = !int_ops;
+    loads = !loads;
+    stores = !stores;
+    branches_retired = !br_retired;
+    branches_taken = !br_taken;
+    instructions = !instructions;
+    cycles = !cycles;
+  }
+
+let to_activity counts =
+  let a = Hwsim.Activity.create () in
+  List.iter (fun (key, n) -> Hwsim.Activity.set a key (float_of_int n)) counts.fp;
+  Hwsim.Activity.set a Hwsim.Keys.core_int_ops (float_of_int counts.int_ops);
+  (* Operand loads of the FLOPs kernels stay L1-resident. *)
+  Hwsim.Activity.set a Hwsim.Keys.cache_l1_dh (float_of_int counts.loads);
+  Hwsim.Activity.set a Hwsim.Keys.cache_loads (float_of_int counts.loads);
+  Hwsim.Activity.set a Hwsim.Keys.core_stores (float_of_int counts.stores);
+  Hwsim.Activity.set a Hwsim.Keys.branch_cond_exec (float_of_int counts.branches_retired);
+  Hwsim.Activity.set a Hwsim.Keys.branch_cond_retired
+    (float_of_int counts.branches_retired);
+  Hwsim.Activity.set a Hwsim.Keys.branch_taken (float_of_int counts.branches_taken);
+  Hwsim.Activity.set a Hwsim.Keys.core_instructions (float_of_int counts.instructions);
+  Hwsim.Activity.set a Hwsim.Keys.core_uops
+    (1.12 *. float_of_int counts.instructions);
+  Hwsim.Activity.set a Hwsim.Keys.core_cycles counts.cycles;
+  a

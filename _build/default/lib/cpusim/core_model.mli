@@ -1,0 +1,47 @@
+(** The execution core: a throughput (port) model of a wide x86-class
+    CPU.
+
+    Counting architectural events is exact — every retired
+    instruction increments its class counter deterministically, which
+    is the physical reason the paper's Figure 2 has a zero-noise
+    cluster.  Cycles, by contrast, come from a contention model: each
+    iteration costs the maximum over (FP work / FP pipes, loads /
+    load ports, stores / store ports, total / issue width), plus a
+    taken-branch bubble and a pipeline-depth drain per loop.  Only
+    time-coupled events read the cycle count, and those carry noise
+    models anyway. *)
+
+type config = {
+  issue_width : int;  (** Instructions decoded/retired per cycle. *)
+  fp_pipes : int;  (** FP execution ports. *)
+  load_ports : int;
+  store_ports : int;
+  taken_branch_bubble : float;  (** Extra cycles per taken back-edge. *)
+  loop_overhead_cycles : float;  (** Startup/drain per loop. *)
+}
+
+val default_config : config
+(** 6-wide, 2 FP pipes, 2 load ports, 1 store port — a Sapphire
+    Rapids-like shape. *)
+
+type counts = {
+  fp : (string * int) list;
+      (** Per-class dynamic FP instruction counts, keyed by the
+          activity key ([Hwsim.Keys.flops ...]). *)
+  int_ops : int;
+  loads : int;
+  stores : int;
+  branches_retired : int;  (** Back-edges executed (all conditional). *)
+  branches_taken : int;  (** Taken back-edges: trips - 1 per loop. *)
+  instructions : int;
+  cycles : float;
+}
+
+val execute : ?config:config -> Program.t -> counts
+(** Runs the program to completion.  Validates it first. *)
+
+val to_activity : counts -> Hwsim.Activity.t
+(** Translate the executed counts into an activity record using the
+    standard keys (branch counters, cache L1 hits for the operand
+    loads, instructions, uops, cycles).  The final back-edge of each
+    loop falls through, so taken < retired by the loop count. *)

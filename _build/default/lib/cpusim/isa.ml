@@ -1,0 +1,22 @@
+type instr =
+  | Fp of {
+      precision : Hwsim.Keys.fp_precision;
+      width : Hwsim.Keys.fp_width;
+      fma : bool;
+    }
+  | Int_alu
+  | Load
+  | Store
+  | Branch_back
+
+let fp ?(fma = false) precision width = Fp { precision; width; fma }
+
+let describe = function
+  | Fp { precision; width; fma } ->
+    Hwsim.Keys.flops ~precision ~width ~fma
+  | Int_alu -> "int_alu"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch_back -> "branch_back"
+
+let is_fp = function Fp _ -> true | _ -> false

@@ -1,0 +1,1 @@
+lib/gpusim/kernel.ml: Isa List Printf

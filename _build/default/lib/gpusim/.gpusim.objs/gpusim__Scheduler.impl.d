@@ -1,0 +1,1 @@
+lib/gpusim/scheduler.ml: Array Isa Kernel List

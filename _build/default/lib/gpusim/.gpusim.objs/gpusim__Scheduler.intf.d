@@ -1,0 +1,1 @@
+lib/gpusim/scheduler.mli: Kernel

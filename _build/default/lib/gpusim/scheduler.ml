@@ -1,0 +1,73 @@
+type config = {
+  max_waves_in_flight : int;
+  issue_per_cycle : int;
+}
+
+let default_config = { max_waves_in_flight = 8; issue_per_cycle = 1 }
+
+type wave = {
+  mutable remaining : int;  (** Dynamic instructions left. *)
+  mutable pc : int;  (** Index into the body (cyclic). *)
+  mutable ready_at : int;  (** Cycle the wave can issue next. *)
+}
+
+let simulate ?(config = default_config) (k : Kernel.t) =
+  if config.max_waves_in_flight < 1 || config.issue_per_cycle < 1 then
+    invalid_arg "Scheduler.simulate: bad config";
+  let body = Array.of_list k.body in
+  let body_len = Array.length body in
+  let per_wave = body_len * k.iterations in
+  let total_waves = k.wavefronts in
+  let launched = ref 0 in
+  let resident : wave list ref = ref [] in
+  let launch_upto cycle =
+    while
+      List.length !resident < config.max_waves_in_flight
+      && !launched < total_waves
+    do
+      incr launched;
+      resident := { remaining = per_wave; pc = 0; ready_at = cycle } :: !resident
+    done
+  in
+  let cycle = ref 0 in
+  launch_upto 0;
+  while !resident <> [] do
+    (* Issue up to issue_per_cycle instructions from ready waves,
+       oldest-ready first (round-robin equivalent for this model). *)
+    let ready =
+      List.filter (fun w -> w.ready_at <= !cycle) !resident
+      |> List.sort (fun a b -> compare a.ready_at b.ready_at)
+    in
+    let rec issue n = function
+      | [] -> ()
+      | w :: rest when n > 0 ->
+        let instr = body.(w.pc) in
+        w.pc <- (w.pc + 1) mod body_len;
+        w.remaining <- w.remaining - 1;
+        w.ready_at <- !cycle + Isa.latency instr;
+        issue (n - 1) rest
+      | _ -> ()
+    in
+    issue config.issue_per_cycle ready;
+    (* Retire finished waves, refill from the launch queue. *)
+    resident := List.filter (fun w -> w.remaining > 0) !resident;
+    launch_upto !cycle;
+    (* Advance time: next cycle, or jump to the earliest ready time
+       if everyone is stalled. *)
+    (match !resident with
+     | [] -> ()
+     | ws ->
+       let earliest =
+         List.fold_left (fun acc w -> min acc w.ready_at) max_int ws
+       in
+       cycle := max (!cycle + 1) earliest)
+  done;
+  !cycle
+
+let serial_cycles (k : Kernel.t) =
+  k.iterations * k.wavefronts
+  * List.fold_left (fun acc i -> acc + Isa.latency i) 0 k.body
+
+let issue_bound_cycles ?(config = default_config) (k : Kernel.t) =
+  let total = Kernel.total_instructions k in
+  (total + config.issue_per_cycle - 1) / config.issue_per_cycle

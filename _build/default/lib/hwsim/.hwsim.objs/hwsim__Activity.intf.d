@@ -1,0 +1,1 @@
+lib/hwsim/activity.mli: Format

@@ -1,0 +1,1 @@
+lib/hwsim/catalog_mi250x.ml: Event Keys List Noise_model Printf String

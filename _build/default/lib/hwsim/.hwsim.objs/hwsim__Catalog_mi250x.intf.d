@@ -1,0 +1,1 @@
+lib/hwsim/catalog_mi250x.mli: Event

@@ -1,0 +1,1 @@
+lib/hwsim/catalog_sapphire_rapids.ml: Event Hashtbl Keys List Noise_model Printf

@@ -1,0 +1,1 @@
+lib/hwsim/catalog_sapphire_rapids.mli: Event

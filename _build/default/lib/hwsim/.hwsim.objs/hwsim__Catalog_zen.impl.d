@@ -1,0 +1,1 @@
+lib/hwsim/catalog_zen.ml: Event Hashtbl Keys List Noise_model Printf

@@ -1,0 +1,1 @@
+lib/hwsim/catalog_zen.mli: Event

@@ -1,0 +1,1 @@
+lib/hwsim/docgen.ml: Buffer Event Hashtbl List Noise_model Printf String

@@ -1,0 +1,1 @@
+lib/hwsim/docgen.mli: Event

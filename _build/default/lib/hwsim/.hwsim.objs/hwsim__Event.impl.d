@@ -1,0 +1,1 @@
+lib/hwsim/event.ml: Activity List Noise_model

@@ -1,0 +1,1 @@
+lib/hwsim/event.mli: Activity Noise_model

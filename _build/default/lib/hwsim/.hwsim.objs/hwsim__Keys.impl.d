@@ -1,0 +1,1 @@
+lib/hwsim/keys.ml: List Printf

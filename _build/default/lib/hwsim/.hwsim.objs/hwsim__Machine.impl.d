@@ -1,0 +1,1 @@
+lib/hwsim/machine.ml: Array Event List Noise_model Numkit Printf

@@ -1,0 +1,1 @@
+lib/hwsim/noise_model.ml: Float Numkit Printf

@@ -1,0 +1,1 @@
+lib/hwsim/session.ml: Event List

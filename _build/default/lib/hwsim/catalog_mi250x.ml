@@ -1,0 +1,151 @@
+let devices = 8
+
+let event_name ~base ~device = Printf.sprintf "rocm:::%s:device=%d" base device
+
+(* Base events are described relative to a device namespace; [inst]
+   instantiates them for a concrete device index. *)
+type base_event = {
+  base : string;
+  desc : string;
+  terms : int -> (float * string) list; (* device -> terms *)
+  noise : Noise_model.t; (* device-0 noise; idle devices override *)
+}
+
+let be base desc noise terms = { base; desc; terms; noise }
+
+let valu_bank_events =
+  let mk op bank_name =
+    List.map
+      (fun precision ->
+        let pname =
+          match precision with
+          | Keys.F16 -> "F16"
+          | Keys.F32 -> "F32"
+          | Keys.F64 -> "F64"
+        in
+        be
+          (Printf.sprintf "SQ_INSTS_VALU_%s_%s" bank_name pname)
+          (Printf.sprintf "VALU %s instructions, %s" bank_name pname)
+          Noise_model.Exact
+          (fun device ->
+            match op with
+            | `Add_sub ->
+              (* Hardware aliasing: the ADD bank counts subtractions too. *)
+              [ (1.0, Keys.gpu ~device ~op:Keys.Add ~precision);
+                (1.0, Keys.gpu ~device ~op:Keys.Sub ~precision) ]
+            | `Single k -> [ (1.0, Keys.gpu ~device ~op:k ~precision) ]))
+      [ Keys.F16; Keys.F32; Keys.F64 ]
+  in
+  mk `Add_sub "ADD" @ mk (`Single Keys.Mul) "MUL" @ mk (`Single Keys.Trans) "TRANS"
+  @ mk (`Single Keys.Fma) "FMA"
+
+let scalar_and_aggregate_events =
+  [
+    be "SQ_INSTS_VALU" "All VALU instructions" Noise_model.Exact (fun device ->
+        [ (1.0, Keys.gpu_valu_total ~device) ]);
+    be "SQ_INSTS_SALU" "Scalar ALU instructions" Noise_model.Exact (fun device ->
+        [ (1.0, Keys.gpu_salu ~device) ]);
+    be "SQ_INSTS_SMEM" "Scalar memory instructions" Noise_model.Exact (fun device ->
+        [ (1.0, Keys.gpu_smem ~device) ]);
+    be "SQ_INSTS_VMEM" "Vector memory instructions" Noise_model.Exact (fun device ->
+        [ (1.0, Keys.gpu_vmem ~device) ]);
+    be "SQ_INSTS_BRANCH" "Wavefront branch instructions" Noise_model.Exact
+      (fun device -> [ (1.0, Keys.gpu_branch ~device) ]);
+    be "SQ_INSTS" "All instructions issued by the SQ" Noise_model.Exact (fun device ->
+        [ (1.0, Keys.gpu_valu_total ~device); (1.0, Keys.gpu_salu ~device);
+          (1.0, Keys.gpu_smem ~device); (1.0, Keys.gpu_vmem ~device);
+          (1.0, Keys.gpu_branch ~device) ]);
+    be "SQ_WAVES" "Wavefronts launched" Noise_model.Exact (fun device ->
+        [ (1.0, Keys.gpu_waves ~device) ]);
+    be "SQ_WAVES_RESTORED" "Wavefront context restores (never in CAT)"
+      Noise_model.Exact (fun _ -> []);
+    be "SQ_WAVES_SAVED" "Wavefront context saves (never in CAT)" Noise_model.Exact
+      (fun _ -> []);
+    be "SQ_BUSY_CYCLES" "SQ busy cycles" (Noise_model.Mixed (0.02, 500.0))
+      (fun device -> [ (1.0, Keys.gpu_cycles ~device) ]);
+    be "SQ_WAIT_INST_ANY" "Cycles waiting on instruction fetch"
+      (Noise_model.Mixed (0.2, 200.0)) (fun device ->
+        [ (0.05, Keys.gpu_cycles ~device) ]);
+    be "SQ_ACTIVE_INST_VALU" "Cycles a VALU instruction was active"
+      (Noise_model.Gauss_rel 0.05) (fun device ->
+        [ (2.5, Keys.gpu_valu_total ~device) ]);
+    be "GRBM_GUI_ACTIVE" "Graphics pipe active cycles"
+      (Noise_model.Mixed (0.03, 1000.0)) (fun device ->
+        [ (1.02, Keys.gpu_cycles ~device) ]);
+    be "GRBM_COUNT" "GRBM free-running cycle count" (Noise_model.Mixed (0.03, 1000.0))
+      (fun device -> [ (1.0, Keys.gpu_cycles ~device) ]);
+  ]
+
+(* Deterministically spread coefficient/noise families, mirroring the
+   uncore block structure of a real MI250X counter listing. *)
+let spread ~lo ~hi i n =
+  let t = float_of_int i /. float_of_int (max 1 (n - 1)) in
+  lo *. ((hi /. lo) ** t)
+
+let family ~prefix ~count ~key ~coef_lo ~coef_hi ~noise_lo ~noise_hi =
+  List.init count (fun i ->
+      let coef = spread ~lo:coef_lo ~hi:coef_hi i count in
+      let sigma = spread ~lo:noise_lo ~hi:noise_hi ((i * 5) mod count) count in
+      be
+        (Printf.sprintf "%s[%d]" prefix i)
+        (Printf.sprintf "Generated %s channel %d" prefix i)
+        (Noise_model.Gauss_rel sigma)
+        (fun device -> [ (coef, key device) ]))
+
+let generated_families =
+  family ~prefix:"TCC_HIT" ~count:16 ~key:(fun d -> Keys.gpu_vmem ~device:d)
+    ~coef_lo:0.2 ~coef_hi:1.0 ~noise_lo:0.05 ~noise_hi:0.6
+  @ family ~prefix:"TCC_MISS" ~count:16 ~key:(fun d -> Keys.gpu_vmem ~device:d)
+      ~coef_lo:0.01 ~coef_hi:0.3 ~noise_lo:0.1 ~noise_hi:0.9
+  @ family ~prefix:"TCP_TOTAL_CACHE_ACCESSES" ~count:16
+      ~key:(fun d -> Keys.gpu_vmem ~device:d) ~coef_lo:0.5 ~coef_hi:2.0
+      ~noise_lo:0.05 ~noise_hi:0.5
+  @ family ~prefix:"TA_BUSY" ~count:16 ~key:(fun d -> Keys.gpu_vmem ~device:d)
+      ~coef_lo:1.0 ~coef_hi:8.0 ~noise_lo:0.1 ~noise_hi:0.7
+  @ family ~prefix:"TD_TD_BUSY" ~count:8 ~key:(fun d -> Keys.gpu_vmem ~device:d)
+      ~coef_lo:1.0 ~coef_hi:4.0 ~noise_lo:0.1 ~noise_hi:0.6
+  @ family ~prefix:"SPI_CSN_BUSY" ~count:12 ~key:(fun d -> Keys.gpu_waves ~device:d)
+      ~coef_lo:5.0 ~coef_hi:50.0 ~noise_lo:0.05 ~noise_hi:0.5
+  @ family ~prefix:"SQC_ICACHE_REQ" ~count:12
+      ~key:(fun d -> Keys.gpu_smem ~device:d) ~coef_lo:0.5 ~coef_hi:4.0
+      ~noise_lo:0.05 ~noise_hi:0.4
+  @ family ~prefix:"CPC_CPC_STAT_BUSY" ~count:10
+      ~key:(fun d -> Keys.gpu_cycles ~device:d) ~coef_lo:0.001 ~coef_hi:0.1
+      ~noise_lo:0.1 ~noise_hi:0.8
+  @ family ~prefix:"GDS_DS_ADDR_CONFL" ~count:6
+      ~key:(fun d -> Keys.gpu_cycles ~device:d) ~coef_lo:0.0001 ~coef_hi:0.001
+      ~noise_lo:0.3 ~noise_hi:1.0
+  @ family ~prefix:"FABRIC_REQ" ~count:12 ~key:(fun d -> Keys.gpu_vmem ~device:d)
+      ~coef_lo:0.05 ~coef_hi:0.5 ~noise_lo:0.2 ~noise_hi:0.9
+  @ family ~prefix:"GRBM_SPI_BUSY" ~count:6 ~key:(fun d -> Keys.gpu_cycles ~device:d)
+      ~coef_lo:0.01 ~coef_hi:0.5 ~noise_lo:0.05 ~noise_hi:0.4
+
+let base_events = valu_bank_events @ scalar_and_aggregate_events @ generated_families
+
+let instantiate device (b : base_event) =
+  (* Idle devices jitter around zero: the benchmark only runs on
+     device 0, everything else contributes noisy clutter. *)
+  let noise =
+    if device = 0 then b.noise
+    else Noise_model.Gauss_abs (1.0 +. float_of_int ((device * 3) mod 5))
+  in
+  Event.make
+    ~name:(event_name ~base:b.base ~device)
+    ~desc:b.desc ~noise (b.terms device)
+
+let events =
+  List.concat_map
+    (fun device -> List.map (instantiate device) base_events)
+    (List.init devices (fun d -> d))
+
+let find name = List.find (fun (e : Event.t) -> e.Event.name = name) events
+
+let size = List.length events
+
+let valu_chosen_events =
+  List.filter_map
+    (fun (b : base_event) ->
+      if String.length b.base >= 14 && String.sub b.base 0 14 = "SQ_INSTS_VALU_" then
+        Some (event_name ~base:b.base ~device:0)
+      else None)
+    base_events

@@ -1,0 +1,42 @@
+let semantics_string (e : Event.t) =
+  match e.Event.terms with
+  | [] ->
+    if e.Event.offset = 0.0 then "never increments under the CAT workloads"
+    else Printf.sprintf "constant baseline %g" e.Event.offset
+  | terms ->
+    let term_str (c, k) =
+      if c = 1.0 then Printf.sprintf "`%s`" k else Printf.sprintf "%g x `%s`" c k
+    in
+    let body = String.concat " + " (List.map term_str terms) in
+    if e.Event.offset = 0.0 then body
+    else Printf.sprintf "%g + %s" e.Event.offset body
+
+let event_markdown (e : Event.t) =
+  Printf.sprintf "### `%s`\n\n%s.\n\n- counts: %s\n- noise: %s\n" e.Event.name
+    e.Event.description (semantics_string e)
+    (Noise_model.describe e.Event.noise)
+
+let summary events =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      let cls =
+        match e.Event.noise with
+        | Noise_model.Exact -> "exact"
+        | Noise_model.Gauss_rel _ -> "relative-noise"
+        | Noise_model.Gauss_abs _ -> "additive-noise"
+        | Noise_model.Mixed _ -> "mixed-noise"
+      in
+      Hashtbl.replace table cls
+        (1 + (match Hashtbl.find_opt table cls with Some n -> n | None -> 0)))
+    events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare
+
+let catalog_markdown ~title events =
+  let buf = Buffer.create 16384 in
+  Printf.bprintf buf "# %s\n\n%d events.\n\n| noise class | events |\n|---|---|\n"
+    title (List.length events);
+  List.iter (fun (k, v) -> Printf.bprintf buf "| %s | %d |\n" k v) (summary events);
+  Buffer.add_char buf '\n';
+  List.iter (fun e -> Buffer.add_string buf (event_markdown e)) events;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Event-catalog documentation generator.
+
+    Vendors under-document their events; the simulated machines
+    should do better.  Renders a catalog as Markdown: every event
+    with its description, its semantics (the activity keys it reads,
+    with coefficients — i.e. what it {e actually} counts) and its
+    noise class.  `bin/catalog_doc.exe` emits it. *)
+
+val event_markdown : Event.t -> string
+(** One event's section. *)
+
+val catalog_markdown : title:string -> Event.t list -> string
+(** Full catalog document with a summary table (event counts per
+    noise class) and one section per event. *)
+
+val summary : Event.t list -> (string * int) list
+(** Noise-class histogram: [(class name, events)]. *)

@@ -1,0 +1,14 @@
+let reading_rng ~seed ~rep ~row (event : Event.t) =
+  Numkit.Rng.of_string
+    (Printf.sprintf "%s|%s|rep=%d|row=%d" seed event.Event.name rep row)
+
+let measure ~seed ~rep ~row event activity =
+  let ideal = Event.ideal_value event activity in
+  let rng = reading_rng ~seed ~rep ~row event in
+  Noise_model.apply event.Event.noise rng ideal
+
+let measure_vector ~seed ~rep event activities =
+  Array.mapi (fun row activity -> measure ~seed ~rep ~row event activity) activities
+
+let measure_repetitions ~seed ~reps event activities =
+  List.init reps (fun rep -> measure_vector ~seed ~rep event activities)

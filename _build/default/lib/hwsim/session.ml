@@ -1,0 +1,31 @@
+type plan = {
+  counters : int;
+  groups : Event.t list list;
+}
+
+let plan ~counters events =
+  if counters < 1 then invalid_arg "Session.plan: counters < 1";
+  let rec chunk acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | e :: rest ->
+      if n = counters then chunk (List.rev current :: acc) [ e ] 1 rest
+      else chunk acc (e :: current) (n + 1) rest
+  in
+  { counters; groups = chunk [] [] 0 events }
+
+let group_count plan = List.length plan.groups
+
+let runs_needed plan ~reps =
+  if reps < 0 then invalid_arg "Session.runs_needed: reps < 0";
+  group_count plan * reps
+
+let group_of plan name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | g :: rest ->
+      if List.exists (fun (e : Event.t) -> e.Event.name = name) g then i
+      else go (i + 1) rest
+  in
+  go 0 plan.groups
+
+let coresident plan a b = group_of plan a = group_of plan b

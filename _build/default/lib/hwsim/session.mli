@@ -1,0 +1,30 @@
+(** Measurement-session planning: the CAT way of handling the
+    counters-vs-events gap.
+
+    Where {!Cat_bench.Multiplex} time-slices one benchmark run across
+    event groups (cheap but noisy), CAT re-runs the whole benchmark
+    once per group, so every event is counted over a complete
+    execution and stays exact.  The cost is wall-clock: this module
+    plans the groups and accounts for the runs a campaign needs —
+    the practical trade-off behind the paper's introduction. *)
+
+type plan = {
+  counters : int;
+  groups : Event.t list list;  (** Disjoint, covering, each <= counters. *)
+}
+
+val plan : counters:int -> Event.t list -> plan
+(** Groups events in catalog order.  [counters >= 1]. *)
+
+val group_count : plan -> int
+
+val runs_needed : plan -> reps:int -> int
+(** Benchmark executions for a full campaign: groups x repetitions. *)
+
+val group_of : plan -> string -> int
+(** Index of the group measuring the named event; raises
+    [Not_found]. *)
+
+val coresident : plan -> string -> string -> bool
+(** Whether two events are measured during the same runs (same
+    group) — relevant when comparing their readings directly. *)

@@ -1,0 +1,1 @@
+lib/linalg/householder.ml: Array Float Mat Vec

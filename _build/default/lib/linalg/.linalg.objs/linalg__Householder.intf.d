@@ -1,0 +1,1 @@
+lib/linalg/householder.mli: Mat Vec

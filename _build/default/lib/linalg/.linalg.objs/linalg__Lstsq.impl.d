@@ -1,0 +1,1 @@
+lib/linalg/lstsq.ml: Array Mat Qr Qrcp Vec

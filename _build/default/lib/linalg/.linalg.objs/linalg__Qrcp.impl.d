@@ -1,0 +1,1 @@
+lib/linalg/qrcp.ml: Array Householder Mat

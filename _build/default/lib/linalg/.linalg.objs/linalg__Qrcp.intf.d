@@ -1,0 +1,1 @@
+lib/linalg/qrcp.mli: Mat

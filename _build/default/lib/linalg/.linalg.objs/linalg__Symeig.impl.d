@@ -1,0 +1,1 @@
+lib/linalg/symeig.ml: Array Float Mat

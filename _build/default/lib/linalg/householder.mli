@@ -1,0 +1,23 @@
+(** Householder reflectors.
+
+    A reflector is H = I - tau * v * v^T with v(0) = 1 implied by the
+    compact storage convention; here we store v explicitly for
+    clarity since our matrices are small. *)
+
+type reflector = { v : Vec.t; tau : float }
+(** [v] has the length of the (sub)column it annihilates; [tau = 0.]
+    encodes the identity (nothing to annihilate). *)
+
+val of_column : Vec.t -> reflector * float
+(** [of_column x] builds the reflector that maps [x] to
+    [(beta, 0, ..., 0)] and returns [(h, beta)].  The sign of [beta]
+    is chosen opposite to [x.(0)] for numerical stability.  For a zero
+    column the identity reflector and [beta = 0.] are returned. *)
+
+val apply_to_vec : reflector -> Vec.t -> unit
+(** In-place application [x <- H x]. *)
+
+val apply_to_cols : reflector -> Mat.t -> row0:int -> col0:int -> unit
+(** Applies the reflector to the trailing submatrix
+    [a.(row0 .. row0+len-1, col0 ..)] in place, where [len] is the
+    reflector length. *)

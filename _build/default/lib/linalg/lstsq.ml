@@ -1,0 +1,42 @@
+type solution = { x : Vec.t; residual_norm : float; relative_residual : float }
+
+let solve a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  if Array.length b <> m then invalid_arg "Lstsq.solve: dimension mismatch";
+  if m < n then invalid_arg "Lstsq.solve: underdetermined system";
+  let f = Qr.factor a in
+  let qtb = Qr.apply_qt f b in
+  let x = Qr.solve_r f qtb in
+  let r = Vec.sub (Mat.mul_vec a x) b in
+  let residual_norm = Vec.norm2 r in
+  let bnorm = Vec.norm2 b in
+  let relative_residual = if bnorm = 0.0 then 0.0 else residual_norm /. bnorm in
+  { x; residual_norm; relative_residual }
+
+let solve_rank_aware ?(tol = 1e-10) a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  if Array.length b <> m then invalid_arg "Lstsq.solve_rank_aware: dimension mismatch";
+  let { Qrcp.perm; rank; _ } = Qrcp.factor ~tol a in
+  if rank = 0 then
+    ({ x = Array.make n 0.0;
+       residual_norm = Vec.norm2 b;
+       relative_residual = (if Vec.norm2 b = 0.0 then 0.0 else 1.0) },
+     0)
+  else begin
+    let pivots = Array.sub perm 0 rank in
+    let sub = Mat.select_cols a pivots in
+    let s = solve sub b in
+    let x = Array.make n 0.0 in
+    Array.iteri (fun k j -> x.(j) <- s.x.(k)) pivots;
+    ( { x; residual_norm = s.residual_norm; relative_residual = s.relative_residual },
+      rank )
+  end
+
+let backward_error ~a ~x ~b =
+  let r = Vec.sub (Mat.mul_vec a x) b in
+  let denom = (Mat.norm2 a *. Vec.norm2 x) +. Vec.norm2 b in
+  if denom = 0.0 then 1.0 else Vec.norm2 r /. denom
+
+let solve_with_error a b =
+  let s = solve a b in
+  (s, backward_error ~a ~x:s.x ~b)

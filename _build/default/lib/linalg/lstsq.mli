@@ -1,0 +1,37 @@
+(** Least-squares solves and the paper's backward error (Eq. 5).
+
+    Solves [min_x || A x - b ||_2] through Householder QR.  Both the
+    projection step (E x_e = m_e, Section III-B) and the metric
+    definition step (X-hat y = s, Section VI) go through this
+    module. *)
+
+type solution = {
+  x : Vec.t;  (** The minimizer. *)
+  residual_norm : float;  (** [|| A x - b ||_2]. *)
+  relative_residual : float;
+      (** [residual_norm / || b ||_2]; [0.] when [b] is zero. *)
+}
+
+val solve : Mat.t -> Vec.t -> solution
+(** [solve a b] for [a] of size m x n with [m >= n] and full column
+    rank (guaranteed post-QRCP in the pipeline).  Raises
+    [Failure] if a zero diagonal is met, i.e. the columns were
+    dependent after all. *)
+
+val solve_rank_aware : ?tol:float -> Mat.t -> Vec.t -> solution * int
+(** Rank-deficient-safe least squares: pivoted QR detects the
+    numerical rank [r] (relative tolerance [tol], default [1e-10]),
+    the system is solved over the [r] pivot columns and the remaining
+    coefficients are set to zero (a basic solution).  Returns the
+    solution and [r].  Needed when an expectation basis degenerates —
+    e.g. the branching basis under a static predictor, where M
+    collapses into span(CR, T). *)
+
+val backward_error : a:Mat.t -> x:Vec.t -> b:Vec.t -> float
+(** Eq. 5 of the paper:
+    [ ||A x - b||_2 / (||A||_2 * ||x||_2 + ||b||_2) ].
+    Returns [1.] when the denominator is zero (only possible for an
+    all-zero system). *)
+
+val solve_with_error : Mat.t -> Vec.t -> solution * float
+(** Solve then attach the backward error. *)

@@ -1,0 +1,159 @@
+type t = { m : int; n : int; a : float array array }
+
+let create m n = { m; n; a = Array.make_matrix m n 0.0 }
+let init m n f = { m; n; a = Array.init m (fun i -> Array.init n (fun j -> f i j)) }
+
+let of_rows rows =
+  let m = Array.length rows in
+  if m = 0 then { m = 0; n = 0; a = [||] }
+  else begin
+    let n = Array.length rows.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> n then invalid_arg "Mat.of_rows: ragged rows")
+      rows;
+    { m; n; a = Array.map Array.copy rows }
+  end
+
+let of_cols cols =
+  let n = Array.length cols in
+  if n = 0 then { m = 0; n = 0; a = [||] }
+  else begin
+    let m = Array.length cols.(0) in
+    Array.iter
+      (fun c -> if Array.length c <> m then invalid_arg "Mat.of_cols: ragged columns")
+      cols;
+    init m n (fun i j -> cols.(j).(i))
+  end
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+let rows t = t.m
+let cols t = t.n
+let get t i j = t.a.(i).(j)
+let set t i j x = t.a.(i).(j) <- x
+let copy t = { t with a = Array.map Array.copy t.a }
+let col t j = Array.init t.m (fun i -> t.a.(i).(j))
+let row t i = Array.copy t.a.(i)
+
+let set_col t j v =
+  if Array.length v <> t.m then invalid_arg "Mat.set_col: dimension mismatch";
+  for i = 0 to t.m - 1 do
+    t.a.(i).(j) <- v.(i)
+  done
+
+let swap_cols t j1 j2 =
+  if j1 <> j2 then
+    for i = 0 to t.m - 1 do
+      let tmp = t.a.(i).(j1) in
+      t.a.(i).(j1) <- t.a.(i).(j2);
+      t.a.(i).(j2) <- tmp
+    done
+
+let transpose t = init t.n t.m (fun i j -> t.a.(j).(i))
+
+let mul x y =
+  if x.n <> y.m then invalid_arg "Mat.mul: dimension mismatch";
+  let r = create x.m y.n in
+  for i = 0 to x.m - 1 do
+    for k = 0 to x.n - 1 do
+      let xik = x.a.(i).(k) in
+      if xik <> 0.0 then
+        for j = 0 to y.n - 1 do
+          r.a.(i).(j) <- r.a.(i).(j) +. (xik *. y.a.(k).(j))
+        done
+    done
+  done;
+  r
+
+let mul_vec t x =
+  if Array.length x <> t.n then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init t.m (fun i -> Vec.dot t.a.(i) x)
+
+let tmul_vec t x =
+  if Array.length x <> t.m then invalid_arg "Mat.tmul_vec: dimension mismatch";
+  let r = Array.make t.n 0.0 in
+  for i = 0 to t.m - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to t.n - 1 do
+        r.(j) <- r.(j) +. (xi *. t.a.(i).(j))
+      done
+  done;
+  r
+
+let sub x y =
+  if x.m <> y.m || x.n <> y.n then invalid_arg "Mat.sub: dimension mismatch";
+  init x.m x.n (fun i j -> x.a.(i).(j) -. y.a.(i).(j))
+
+let frobenius t =
+  let s = ref 0.0 in
+  for i = 0 to t.m - 1 do
+    for j = 0 to t.n - 1 do
+      s := !s +. (t.a.(i).(j) *. t.a.(i).(j))
+    done
+  done;
+  sqrt !s
+
+let col_norm t j =
+  let s = ref 0.0 in
+  for i = 0 to t.m - 1 do
+    s := !s +. (t.a.(i).(j) *. t.a.(i).(j))
+  done;
+  sqrt !s
+
+let norm2 ?(iters = 200) t =
+  if t.m = 0 || t.n = 0 then 0.0
+  else begin
+    (* Power iteration on A^T A.  Seeded with the all-ones direction
+       plus a deterministic perturbation so it cannot start orthogonal
+       to the dominant singular vector for the structured 0/1 matrices
+       used in the pipeline. *)
+    let v = Array.init t.n (fun j -> 1.0 +. (float_of_int (j mod 7) /. 17.0)) in
+    let normalize x =
+      let n = Vec.norm2 x in
+      if n > 0.0 then Vec.scale_inplace (1.0 /. n) x;
+      n
+    in
+    ignore (normalize v);
+    let sigma = ref 0.0 in
+    (try
+       for _ = 1 to iters do
+         let w = tmul_vec t (mul_vec t v) in
+         let n = normalize w in
+         Array.blit w 0 v 0 t.n;
+         let s = sqrt n in
+         if Float.abs (s -. !sigma) <= 1e-14 *. Float.max 1.0 s then begin
+           sigma := s;
+           raise Exit
+         end;
+         sigma := s
+       done
+     with Exit -> ());
+    !sigma
+  end
+
+let select_cols t idx =
+  init t.m (Array.length idx) (fun i k -> t.a.(i).(idx.(k)))
+
+let equal ?(eps = 0.0) x y =
+  x.m = y.m && x.n = y.n
+  && begin
+       let ok = ref true in
+       for i = 0 to x.m - 1 do
+         for j = 0 to x.n - 1 do
+           if Float.abs (x.a.(i).(j) -. y.a.(i).(j)) > eps then ok := false
+         done
+       done;
+       !ok
+     end
+
+let to_rows t = Array.map Array.copy t.a
+
+let pp ppf t =
+  for i = 0 to t.m - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to t.n - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" t.a.(i).(j)
+    done;
+    Format.fprintf ppf "]@."
+  done

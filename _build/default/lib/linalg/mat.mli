@@ -1,0 +1,71 @@
+(** Dense, row-major matrices of floats.
+
+    Sized for the paper's workloads: measurement matrices are at most
+    a few thousand columns by a few dozen rows, so a simple boxed
+    [float array array] representation with straightforward loops is
+    adequate and keeps the factorization code easy to audit. *)
+
+type t
+
+val create : int -> int -> t
+(** [create m n] is an [m] x [n] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init m n f] fills entry [(i, j)] with [f i j]. *)
+
+val of_rows : float array array -> t
+(** Rows are copied; all rows must have equal length. *)
+
+val of_cols : float array array -> t
+(** Builds the matrix whose [j]-th column is the [j]-th input. *)
+
+val identity : int -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+
+val col : t -> int -> Vec.t
+(** Fresh copy of a column. *)
+
+val row : t -> int -> Vec.t
+(** Fresh copy of a row. *)
+
+val set_col : t -> int -> Vec.t -> unit
+val swap_cols : t -> int -> int -> unit
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Raises on inner-dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [a * x]. *)
+
+val tmul_vec : t -> Vec.t -> Vec.t
+(** [tmul_vec a x] is [a^T * x]. *)
+
+val sub : t -> t -> t
+
+val frobenius : t -> float
+
+val norm2 : ?iters:int -> t -> float
+(** Spectral norm estimated by power iteration on [A^T A]; exact to
+    working accuracy for the small, well-separated matrices used
+    here.  [iters] defaults to [200]. *)
+
+val col_norm : t -> int -> float
+(** Euclidean norm of a column without copying it. *)
+
+val select_cols : t -> int array -> t
+(** [select_cols a idx] is the submatrix of the listed columns in the
+    listed order. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val to_rows : t -> float array array
+(** Fresh row-array copy. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type result = { perm : int array; rank : int; rdiag : float array }
+
+let trailing_norm a ~from j =
+  let s = ref 0.0 in
+  for i = from to Mat.rows a - 1 do
+    let x = Mat.get a i j in
+    s := !s +. (x *. x)
+  done;
+  sqrt !s
+
+let factor ?(tol = 1e-10) a0 =
+  let m = Mat.rows a0 and n = Mat.cols a0 in
+  if m = 0 || n = 0 then invalid_arg "Qrcp.factor: empty matrix";
+  let a = Mat.copy a0 in
+  let perm = Array.init n (fun j -> j) in
+  let steps = min m n in
+  let rdiag = Array.make steps 0.0 in
+  let rank = ref 0 in
+  let first_pivot = ref 0.0 in
+  (try
+     for i = 0 to steps - 1 do
+       (* Trailing column norms are recomputed from scratch: the
+          matrices here are tiny, and recomputation avoids the
+          classical downdating cancellation problem. *)
+       let pivot = ref i and best = ref (trailing_norm a ~from:i i) in
+       for j = i + 1 to n - 1 do
+         let nj = trailing_norm a ~from:i j in
+         if nj > !best then begin
+           best := nj;
+           pivot := j
+         end
+       done;
+       if i = 0 then first_pivot := !best;
+       if !best <= tol *. !first_pivot || !best = 0.0 then raise Exit;
+       Mat.swap_cols a i !pivot;
+       let tmp = perm.(i) in
+       perm.(i) <- perm.(!pivot);
+       perm.(!pivot) <- tmp;
+       let colk = Array.init (m - i) (fun k -> Mat.get a (i + k) i) in
+       let h, beta = Householder.of_column colk in
+       Mat.set a i i beta;
+       for k = i + 1 to m - 1 do
+         Mat.set a k i 0.0
+       done;
+       Householder.apply_to_cols h a ~row0:i ~col0:(i + 1);
+       rdiag.(i) <- beta;
+       incr rank
+     done
+   with Exit -> ());
+  { perm; rank = !rank; rdiag = Array.sub rdiag 0 !rank }
+
+let independent_columns ?tol a =
+  let { perm; rank; _ } = factor ?tol a in
+  let idx = Array.sub perm 0 rank in
+  Array.sort compare idx;
+  idx

@@ -1,0 +1,31 @@
+(** Standard column-pivoted QR (the paper's Algorithm 1).
+
+    At step [i] the pivot is the trailing column with the largest
+    Euclidean norm; the column is swapped into position [i] and the
+    trailing submatrix is updated with a Householder reflector.  The
+    permutation's leading [rank] entries index a linearly independent
+    column subset of the input.
+
+    This is the baseline against which the paper's specialized pivot
+    (implemented in [Core.Special_qrcp]) is compared. *)
+
+type result = {
+  perm : int array;
+      (** [perm.(k)] is the original index of the column in position
+          [k] after pivoting. *)
+  rank : int;
+      (** Numerical rank: columns whose pivot norm exceeded
+          [tol * first_pivot_norm]. *)
+  rdiag : float array;
+      (** Diagonal of R in pivot order, a by-product useful for rank
+          diagnostics. *)
+}
+
+val factor : ?tol:float -> Mat.t -> result
+(** [factor ?tol a] leaves [a] untouched.  [tol] (default [1e-10])
+    is the relative pivot-norm cutoff below which remaining columns
+    are declared dependent. *)
+
+val independent_columns : ?tol:float -> Mat.t -> int array
+(** Convenience: the first [rank] entries of [perm], sorted
+    ascending. *)

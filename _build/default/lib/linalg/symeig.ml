@@ -1,0 +1,93 @@
+type t = {
+  eigenvalues : float array;
+  eigenvectors : Mat.t;
+}
+
+let off_diagonal_norm a =
+  let n = Mat.rows a in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let x = Mat.get a i j in
+        s := !s +. (x *. x)
+      end
+    done
+  done;
+  sqrt !s
+
+let check_symmetric a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Symeig.jacobi: not square";
+  let scale = Float.max 1.0 (Mat.frobenius a) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Float.abs (Mat.get a i j -. Mat.get a j i) > 1e-8 *. scale then
+        invalid_arg "Symeig.jacobi: not symmetric"
+    done
+  done
+
+(* One Jacobi rotation zeroing a(p,q): classical formulas with the
+   numerically stable choice of t (Golub & Van Loan, 8.4). *)
+let rotate a v p q =
+  let apq = Mat.get a p q in
+  if apq <> 0.0 then begin
+    let app = Mat.get a p p and aqq = Mat.get a q q in
+    let theta = (aqq -. app) /. (2.0 *. apq) in
+    let t =
+      let s = if theta >= 0.0 then 1.0 else -1.0 in
+      s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+    in
+    let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+    let s = t *. c in
+    let n = Mat.rows a in
+    (* Update A = J^T A J. *)
+    for k = 0 to n - 1 do
+      let akp = Mat.get a k p and akq = Mat.get a k q in
+      Mat.set a k p ((c *. akp) -. (s *. akq));
+      Mat.set a k q ((s *. akp) +. (c *. akq))
+    done;
+    for k = 0 to n - 1 do
+      let apk = Mat.get a p k and aqk = Mat.get a q k in
+      Mat.set a p k ((c *. apk) -. (s *. aqk));
+      Mat.set a q k ((s *. apk) +. (c *. aqk))
+    done;
+    (* Accumulate V = V J. *)
+    for k = 0 to n - 1 do
+      let vkp = Mat.get v k p and vkq = Mat.get v k q in
+      Mat.set v k p ((c *. vkp) -. (s *. vkq));
+      Mat.set v k q ((s *. vkp) +. (c *. vkq))
+    done
+  end
+
+let jacobi ?(tol = 1e-14) ?(max_sweeps = 60) a0 =
+  check_symmetric a0;
+  let n = Mat.rows a0 in
+  let a = Mat.copy a0 in
+  let v = Mat.identity n in
+  let target = tol *. Float.max 1e-300 (Mat.frobenius a0) in
+  let sweeps = ref 0 in
+  while off_diagonal_norm a > target && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done
+  done;
+  (* Extract and sort descending, permuting eigenvector columns. *)
+  let order = Array.init n (fun i -> i) in
+  let eig i = Mat.get a i i in
+  Array.sort (fun i j -> compare (eig j) (eig i)) order;
+  let eigenvalues = Array.map eig order in
+  let eigenvectors = Mat.select_cols v order in
+  { eigenvalues; eigenvectors }
+
+let residual a { eigenvalues; eigenvectors } =
+  let av = Mat.mul a eigenvectors in
+  let n = Mat.cols eigenvectors in
+  let vd =
+    Mat.init (Mat.rows eigenvectors) n (fun i j ->
+        Mat.get eigenvectors i j *. eigenvalues.(j))
+  in
+  Mat.frobenius (Mat.sub av vd)

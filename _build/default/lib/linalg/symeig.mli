@@ -1,0 +1,22 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    Chosen for robustness over speed: the matrices in this code base
+    are at most a few dozen on a side, and Jacobi converges
+    unconditionally on symmetric input with high relative accuracy —
+    a good anchor for validating the faster estimates used in the
+    pipeline ({!Mat.norm2}'s power iteration). *)
+
+type t = {
+  eigenvalues : float array;  (** Descending order. *)
+  eigenvectors : Mat.t;  (** Column [j] pairs with [eigenvalues.(j)]. *)
+}
+
+val jacobi : ?tol:float -> ?max_sweeps:int -> Mat.t -> t
+(** [jacobi a] for a square symmetric [a] (symmetry is checked to a
+    loose tolerance, [Invalid_argument] otherwise).  [tol] (default
+    [1e-14]) is the off-diagonal reduction target relative to the
+    Frobenius norm; [max_sweeps] defaults to [60]. *)
+
+val residual : Mat.t -> t -> float
+(** [residual a e] is [||A V - V diag(w)||_F], a direct quality
+    check. *)

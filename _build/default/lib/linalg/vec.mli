@@ -1,0 +1,58 @@
+(** Dense vectors of floats.
+
+    A vector is an ordinary [float array]; this module gathers the
+    BLAS-1 style operations the factorizations need.  All binary
+    operations check that lengths agree. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of length [n]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val of_list : float list -> t
+
+val dim : t -> int
+
+val fill : t -> float -> unit
+
+val dot : t -> t -> float
+(** Inner product. *)
+
+val norm2 : t -> float
+(** Euclidean norm, computed with scaling to avoid overflow. *)
+
+val norm_inf : t -> float
+(** Maximum absolute entry; [0.] for the empty vector. *)
+
+val norm1 : t -> float
+(** Sum of absolute entries. *)
+
+val scale : float -> t -> t
+(** Fresh vector [alpha * x]. *)
+
+val scale_inplace : float -> t -> unit
+
+val add : t -> t -> t
+(** Fresh elementwise sum. *)
+
+val sub : t -> t -> t
+(** Fresh elementwise difference. *)
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] updates [y <- alpha * x + y] in place. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [eps]
+    (default [0.]). *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val concat : t list -> t
+(** Concatenation, used to join per-kernel measurement segments. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(v0, v1, ...)] with [%g] formatting. *)

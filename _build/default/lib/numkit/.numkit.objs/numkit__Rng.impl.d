@@ -1,0 +1,1 @@
+lib/numkit/rng.ml: Array Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/numkit/stats.ml: Array Float List

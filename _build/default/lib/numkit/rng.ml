@@ -1,0 +1,69 @@
+type t = { mutable state : int64; seed : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed; seed }
+
+let hash_string s =
+  (* FNV-1a, 64-bit. *)
+  let offset_basis = 0xCBF29CE484222325L and prime = 0x100000001B3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let of_string s = create (hash_string s)
+
+let split t label =
+  create (mix (Int64.logxor t.seed (hash_string label)))
+
+let copy t = { state = t.state; seed = t.seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let float t =
+  (* 53 high bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection-free for our purposes: modulo bias is negligible for
+     n << 2^63 and determinism is what matters here. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let normal t ~mu ~sigma =
+  assert (sigma >= 0.0);
+  if sigma = 0.0 then mu
+  else begin
+    (* Box-Muller; guard against log 0. *)
+    let rec nonzero () =
+      let u = float t in
+      if u > 0.0 then u else nonzero ()
+    in
+    let u1 = nonzero () and u2 = float t in
+    let r = sqrt (-2.0 *. log u1) in
+    mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+  end
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

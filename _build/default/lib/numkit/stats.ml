@@ -1,0 +1,125 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty input")
+
+let sum a =
+  (* Kahan summation: measurement vectors mix magnitudes freely. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    a;
+  !s
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  sum a /. float_of_int (Array.length a)
+
+let variance a =
+  check_nonempty "Stats.variance" a;
+  let m = mean a in
+  let acc = Array.map (fun x -> (x -. m) *. (x -. m)) a in
+  sum acc /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  check_nonempty "Stats.median" a;
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let quantile a q =
+  check_nonempty "Stats.quantile" a;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n = 1 then b.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then b.(n - 1) else b.(i) +. (frac *. (b.(i + 1) -. b.(i)))
+  end
+
+let rnmse m1 m2 =
+  let n = Array.length m1 in
+  if n = 0 || n <> Array.length m2 then invalid_arg "Stats.rnmse: length mismatch";
+  let mu1 = mean m1 and mu2 = mean m2 in
+  (* Counter readings are non-negative, so a non-positive mean product
+     only arises when a mean is zero (the paper's 100%-error rule) or
+     the inputs are not counts at all; both get maximal variability. *)
+  if mu1 *. mu2 <= 0.0 then 1.0
+  else begin
+    let diff = Array.init n (fun i -> (m1.(i) -. m2.(i)) *. (m1.(i) -. m2.(i))) in
+    sqrt (sum diff) /. sqrt (float_of_int n *. mu1 *. mu2)
+  end
+
+let max_rnmse reps =
+  let reps = Array.of_list reps in
+  let worst = ref 0.0 in
+  for i = 0 to Array.length reps - 1 do
+    for j = i + 1 to Array.length reps - 1 do
+      let v = rnmse reps.(i) reps.(j) in
+      (* [not (v <= worst)] instead of [v > worst] so a NaN (corrupt
+         reading) propagates instead of being silently dropped. *)
+      if not (v <= !worst) then worst := v
+    done
+  done;
+  !worst
+
+let mean_rnmse reps =
+  let reps = Array.of_list reps in
+  let total = ref 0.0 and pairs = ref 0 in
+  for i = 0 to Array.length reps - 1 do
+    for j = i + 1 to Array.length reps - 1 do
+      total := !total +. rnmse reps.(i) reps.(j);
+      incr pairs
+    done
+  done;
+  if !pairs = 0 then 0.0 else !total /. float_of_int !pairs
+
+let max_relative_range reps =
+  match reps with
+  | [] | [ _ ] -> 0.0
+  | first :: _ ->
+    let n = Array.length first in
+    let worst = ref 0.0 in
+    for i = 0 to n - 1 do
+      let values = List.map (fun v -> v.(i)) reps in
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let mu = List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values) in
+      let range = hi -. lo in
+      let rel =
+        if range = 0.0 then 0.0 else if mu = 0.0 then 1.0 else range /. mu
+      in
+      if not (rel <= !worst) then worst := rel
+    done;
+    !worst
+
+let mad a =
+  let m = median a in
+  median (Array.map (fun x -> Float.abs (x -. m)) a)
+
+let elementwise f vs =
+  match vs with
+  | [] -> invalid_arg "Stats.elementwise: empty list"
+  | first :: _ ->
+    let n = Array.length first in
+    List.iter
+      (fun v ->
+        if Array.length v <> n then invalid_arg "Stats.elementwise: ragged input")
+      vs;
+    Array.init n (fun i -> f (Array.of_list (List.map (fun v -> v.(i)) vs)))
+
+let elementwise_mean vs = elementwise mean vs
+let elementwise_median vs = elementwise median vs
+let all_zero a = Array.for_all (fun x -> x = 0.0) a

@@ -1,0 +1,1 @@
+test/test_auto_threshold.ml: Alcotest Array Core Hwsim List Printf

@@ -1,0 +1,1 @@
+test/test_bootstrap.ml: Alcotest Cat_bench Core Hwsim Lazy List Numkit Printf

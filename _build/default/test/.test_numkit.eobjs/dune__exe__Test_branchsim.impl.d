@@ -1,0 +1,1 @@
+test/test_branchsim.ml: Alcotest Array Branchsim Float List Printf

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Cachesim Int64 List Numkit Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cat.ml: Alcotest Array Branchsim Cat_bench Float Hwsim List String

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Cat_bench Core Hashtbl Hwsim Int64 Lazy Linalg List Numkit QCheck QCheck_alcotest

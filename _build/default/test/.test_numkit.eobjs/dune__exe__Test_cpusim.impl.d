@@ -1,0 +1,1 @@
+test/test_cpusim.ml: Alcotest Array Cat_bench Cpusim Hwsim List Printf

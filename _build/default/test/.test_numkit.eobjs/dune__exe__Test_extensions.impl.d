@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cat_bench Core Float Hwsim Lazy List Numkit Printf String

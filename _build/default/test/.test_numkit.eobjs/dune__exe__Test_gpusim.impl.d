@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Gpusim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hwsim.ml: Alcotest Array Float Hwsim List Numkit Printf String

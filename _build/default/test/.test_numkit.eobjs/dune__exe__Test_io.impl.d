@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Cat_bench Core Float Hwsim List String

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Core Float Hwsim Lazy Linalg List Printf

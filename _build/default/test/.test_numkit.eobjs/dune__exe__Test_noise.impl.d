@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Cat_bench Core Hwsim List Numkit Printf

@@ -1,0 +1,1 @@
+test/test_numkit.ml: Alcotest Array Float Gen List Numkit QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Core Hwsim Linalg List Printf

@@ -1,0 +1,1 @@
+test/test_projection.ml: Alcotest Array Branchsim Cat_bench Core Float Hwsim Linalg List

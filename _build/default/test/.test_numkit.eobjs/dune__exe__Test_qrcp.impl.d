@@ -1,0 +1,1 @@
+test/test_qrcp.ml: Alcotest Array Gen Linalg List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Cat_bench Core Hwsim Lazy List String

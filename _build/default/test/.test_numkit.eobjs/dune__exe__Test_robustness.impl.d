@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Cachesim Cat_bench Core Float Gpusim Hwsim Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_special_qrcp.ml: Alcotest Array Core Linalg List Printf QCheck QCheck_alcotest

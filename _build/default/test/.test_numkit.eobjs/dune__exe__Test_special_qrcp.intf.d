@@ -1,0 +1,1 @@
+test/test_special_qrcp.mli:

@@ -1,0 +1,1 @@
+test/test_svd.ml: Alcotest Array Float Linalg List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tlb_prefetch.ml: Alcotest Cachesim Int64 Numkit Printf

@@ -1,0 +1,135 @@
+(* Tests for bootstrap uncertainty quantification. *)
+
+let dc = lazy (Core.Pipeline.run Core.Category.Dcache)
+let br = lazy (Core.Pipeline.run Core.Category.Branch)
+
+let test_resample_shape () =
+  let d = Cat_bench.Dataset.branch () in
+  let rng = Numkit.Rng.create 1L in
+  let r = Core.Bootstrap.resample_dataset rng d in
+  Alcotest.(check int) "same reps" d.reps r.Cat_bench.Dataset.reps;
+  Alcotest.(check int) "same events"
+    (List.length d.measurements)
+    (List.length r.Cat_bench.Dataset.measurements);
+  (* Every resampled vector is one of the originals. *)
+  let orig = Cat_bench.Dataset.find d "BR_INST_RETIRED:COND" in
+  let res = Cat_bench.Dataset.find r "BR_INST_RETIRED:COND" in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "vector from original set" true
+        (List.exists (fun o -> o = v) orig.reps))
+    res.reps
+
+let test_resample_is_paired () =
+  (* The same repetition indices must be applied to every event:
+     resampling must preserve cross-event consistency within a
+     repetition.  We verify via a marker dataset where rep i of every
+     event carries value i. *)
+  let ev name = Hwsim.Event.make ~name ~desc:"t" [] in
+  let mk name =
+    { Cat_bench.Dataset.event = ev name;
+      reps = List.init 5 (fun i -> [| float_of_int i |]) }
+  in
+  let d =
+    { Cat_bench.Dataset.name = "paired"; row_labels = [| "r" |]; reps = 5;
+      measurements = [ mk "A"; mk "B" ] }
+  in
+  let rng = Numkit.Rng.create 42L in
+  let r = Core.Bootstrap.resample_dataset rng d in
+  let get name = (Cat_bench.Dataset.find r name).Cat_bench.Dataset.reps in
+  Alcotest.(check bool) "A and B picked the same rep indices" true
+    (get "A" = get "B")
+
+let test_exact_events_have_degenerate_intervals () =
+  let result = Lazy.force br in
+  let cis =
+    Core.Bootstrap.analyze ~samples:30 ~result
+      ~dataset:(Cat_bench.Dataset.branch ()) ()
+  in
+  List.iter
+    (fun (ci : Core.Bootstrap.metric_ci) ->
+      Alcotest.(check bool) (ci.metric ^ " error CI degenerate") true
+        (Core.Bootstrap.width ci.error_ci < 1e-12);
+      List.iter
+        (fun (name, i) ->
+          Alcotest.(check bool) (name ^ " coefficient CI degenerate") true
+            (Core.Bootstrap.width i < 1e-9))
+        ci.coefficient_cis)
+    cis
+
+let test_cache_intervals_nonzero_but_small () =
+  let result = Lazy.force dc in
+  let cis =
+    Core.Bootstrap.analyze ~samples:50 ~result
+      ~dataset:(Cat_bench.Dataset.dcache ()) ()
+  in
+  let widths =
+    List.concat_map
+      (fun (ci : Core.Bootstrap.metric_ci) ->
+        List.map (fun (_, i) -> Core.Bootstrap.width i) ci.coefficient_cis)
+      cis
+  in
+  Alcotest.(check bool) "some uncertainty present" true
+    (List.exists (fun w -> w > 1e-6) widths);
+  (* Every coefficient interval stays well inside the 2% rounding
+     budget of Section VI-D: the rounding step is safe with margin. *)
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) (Printf.sprintf "width %.2e < 0.04" w) true (w < 0.04))
+    widths
+
+let test_point_estimates_inside_intervals () =
+  let result = Lazy.force dc in
+  let cis =
+    Core.Bootstrap.analyze ~samples:50 ~result
+      ~dataset:(Cat_bench.Dataset.dcache ()) ()
+  in
+  List.iter
+    (fun (ci : Core.Bootstrap.metric_ci) ->
+      List.iter
+        (fun (name, i) ->
+          if
+            i.Core.Bootstrap.point < i.Core.Bootstrap.lo -. 0.01
+            || i.Core.Bootstrap.point > i.Core.Bootstrap.hi +. 0.01
+          then
+            Alcotest.failf "%s/%s: point %g outside [%g, %g]" ci.metric name
+              i.Core.Bootstrap.point i.Core.Bootstrap.lo i.Core.Bootstrap.hi)
+        ci.coefficient_cis)
+    cis
+
+let test_deterministic_given_seed () =
+  let result = Lazy.force br in
+  let run () =
+    Core.Bootstrap.analyze ~samples:10 ~seed:"fixed" ~result
+      ~dataset:(Cat_bench.Dataset.branch ()) ()
+  in
+  Alcotest.(check bool) "same intervals" true (run () = run ())
+
+let test_validation () =
+  let result = Lazy.force br in
+  Alcotest.check_raises "samples < 2"
+    (Invalid_argument "Bootstrap.analyze: samples < 2") (fun () ->
+      ignore
+        (Core.Bootstrap.analyze ~samples:1 ~result
+           ~dataset:(Cat_bench.Dataset.branch ()) ()))
+
+let () =
+  Alcotest.run "bootstrap"
+    [
+      ( "resampling",
+        [
+          Alcotest.test_case "shape" `Quick test_resample_shape;
+          Alcotest.test_case "paired" `Quick test_resample_is_paired;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "exact events degenerate" `Quick
+            test_exact_events_have_degenerate_intervals;
+          Alcotest.test_case "cache uncertainty bounded" `Slow
+            test_cache_intervals_nonzero_but_small;
+          Alcotest.test_case "points inside intervals" `Slow
+            test_point_estimates_inside_intervals;
+          Alcotest.test_case "seed-deterministic" `Quick test_deterministic_given_seed;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

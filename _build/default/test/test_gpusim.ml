@@ -1,0 +1,136 @@
+(* Tests for the GPU simulator: ISA metadata, kernel construction,
+   device execution, and — crucially — the add/sub counter aliasing
+   the paper's analysis is designed to discover. *)
+
+let test_flops_per_lane () =
+  Alcotest.(check int) "fma" 2 (Gpusim.Isa.flops_per_lane Gpusim.Isa.Vfma);
+  List.iter
+    (fun op -> Alcotest.(check int) "unit ops" 1 (Gpusim.Isa.flops_per_lane op))
+    [ Gpusim.Isa.Vadd; Gpusim.Isa.Vsub; Gpusim.Isa.Vmul; Gpusim.Isa.Vtrans ]
+
+let test_names () =
+  Alcotest.(check string) "f64" "f64" (Gpusim.Isa.precision_name Gpusim.Isa.F64);
+  Alcotest.(check string) "trans" "trans" (Gpusim.Isa.op_name Gpusim.Isa.Vtrans)
+
+let test_latency_ordering () =
+  Alcotest.(check bool) "trans slower than add" true
+    (Gpusim.Isa.latency (Gpusim.Isa.Valu (Gpusim.Isa.Vtrans, Gpusim.Isa.F64))
+     > Gpusim.Isa.latency (Gpusim.Isa.Valu (Gpusim.Isa.Vadd, Gpusim.Isa.F32)))
+
+let mk ?(unroll = 8) ?(iterations = 10) ?(wavefronts = 2) op precision =
+  Gpusim.Kernel.flops_kernel ~op ~precision ~unroll ~iterations ~wavefronts
+
+let test_kernel_shape () =
+  let k = mk Gpusim.Isa.Vadd Gpusim.Isa.F32 in
+  Alcotest.(check int) "payload + overhead" (8 + 3) (List.length k.Gpusim.Kernel.body);
+  Alcotest.(check int) "payload count" (8 * 10 * 2)
+    (Gpusim.Kernel.instruction_count k (Gpusim.Isa.Valu (Gpusim.Isa.Vadd, Gpusim.Isa.F32)));
+  Alcotest.(check int) "total" (11 * 10 * 2) (Gpusim.Kernel.total_instructions k)
+
+let test_kernel_validation () =
+  Alcotest.check_raises "bad unroll" (Invalid_argument "Kernel.flops_kernel: unroll < 1")
+    (fun () -> ignore (mk ~unroll:0 Gpusim.Isa.Vadd Gpusim.Isa.F32))
+
+let run op precision =
+  let d = Gpusim.Device.create () in
+  Gpusim.Device.run d (mk op precision);
+  Gpusim.Device.counters d
+
+let test_add_sub_aliasing () =
+  let add = run Gpusim.Isa.Vadd Gpusim.Isa.F16 in
+  let sub = run Gpusim.Isa.Vsub Gpusim.Isa.F16 in
+  (* The ADD bank counts both operations identically. *)
+  Alcotest.(check int) "add kernel increments ADD bank" 160 add.Gpusim.Device.valu_add.f16;
+  Alcotest.(check int) "sub kernel increments ADD bank too" 160
+    sub.Gpusim.Device.valu_add.f16;
+  Alcotest.(check int) "sub does not touch MUL" 0 sub.Gpusim.Device.valu_mul.f16
+
+let test_bank_separation () =
+  let c = run Gpusim.Isa.Vfma Gpusim.Isa.F64 in
+  Alcotest.(check int) "fma bank" 160 c.Gpusim.Device.valu_fma.f64;
+  Alcotest.(check int) "other precision untouched" 0 c.Gpusim.Device.valu_fma.f32;
+  Alcotest.(check int) "other banks untouched" 0
+    (c.Gpusim.Device.valu_add.f64 + c.Gpusim.Device.valu_mul.f64
+     + c.Gpusim.Device.valu_trans.f64)
+
+let test_valu_total () =
+  let c = run Gpusim.Isa.Vmul Gpusim.Isa.F32 in
+  Alcotest.(check int) "valu total = payload" 160 c.Gpusim.Device.valu_total
+
+let test_overhead_counters () =
+  let c = run Gpusim.Isa.Vadd Gpusim.Isa.F32 in
+  Alcotest.(check int) "salu 2/iter" (2 * 10 * 2) c.Gpusim.Device.salu;
+  Alcotest.(check int) "branch 1/iter" (10 * 2) c.Gpusim.Device.branches;
+  Alcotest.(check int) "waves" 2 c.Gpusim.Device.waves;
+  Alcotest.(check bool) "cycles accumulate" true (c.Gpusim.Device.cycles > 0)
+
+let test_valu_count_accessor () =
+  let c = run Gpusim.Isa.Vsub Gpusim.Isa.F32 in
+  Alcotest.(check int) "vadd reads aliased bank" 160
+    (Gpusim.Device.valu_count c ~op:Gpusim.Isa.Vadd ~precision:Gpusim.Isa.F32);
+  Alcotest.(check int) "vsub reads same" 160
+    (Gpusim.Device.valu_count c ~op:Gpusim.Isa.Vsub ~precision:Gpusim.Isa.F32)
+
+let test_reset () =
+  let d = Gpusim.Device.create () in
+  Gpusim.Device.run d (mk Gpusim.Isa.Vadd Gpusim.Isa.F32);
+  Gpusim.Device.reset d;
+  let c = Gpusim.Device.counters d in
+  Alcotest.(check int) "cleared" 0
+    (c.Gpusim.Device.valu_total + c.Gpusim.Device.salu + c.Gpusim.Device.waves
+     + c.Gpusim.Device.cycles)
+
+let test_accumulation_across_kernels () =
+  let d = Gpusim.Device.create () in
+  Gpusim.Device.run d (mk Gpusim.Isa.Vadd Gpusim.Isa.F32);
+  Gpusim.Device.run d (mk Gpusim.Isa.Vsub Gpusim.Isa.F32);
+  let c = Gpusim.Device.counters d in
+  Alcotest.(check int) "ADD bank accumulates both" 320 c.Gpusim.Device.valu_add.f32
+
+let test_cycles_scale_with_latency () =
+  let fast = run Gpusim.Isa.Vadd Gpusim.Isa.F16 in
+  let slow = run Gpusim.Isa.Vtrans Gpusim.Isa.F64 in
+  Alcotest.(check bool) "trans f64 costs more cycles" true
+    (slow.Gpusim.Device.cycles > fast.Gpusim.Device.cycles)
+
+let prop_payload_counts =
+  QCheck.Test.make ~name:"payload instruction counts multiply out" ~count:100
+    QCheck.(triple (int_range 1 64) (int_range 1 100) (int_range 1 8))
+    (fun (unroll, iterations, wavefronts) ->
+      let k =
+        Gpusim.Kernel.flops_kernel ~op:Gpusim.Isa.Vfma ~precision:Gpusim.Isa.F32
+          ~unroll ~iterations ~wavefronts
+      in
+      let d = Gpusim.Device.create () in
+      Gpusim.Device.run d k;
+      (Gpusim.Device.counters d).Gpusim.Device.valu_fma.f32
+      = unroll * iterations * wavefronts)
+
+let () =
+  Alcotest.run "gpusim"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "flops per lane" `Quick test_flops_per_lane;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "latency ordering" `Quick test_latency_ordering;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "shape" `Quick test_kernel_shape;
+          Alcotest.test_case "validation" `Quick test_kernel_validation;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "add/sub aliasing" `Quick test_add_sub_aliasing;
+          Alcotest.test_case "bank separation" `Quick test_bank_separation;
+          Alcotest.test_case "valu total" `Quick test_valu_total;
+          Alcotest.test_case "overhead counters" `Quick test_overhead_counters;
+          Alcotest.test_case "valu_count accessor" `Quick test_valu_count_accessor;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "accumulation" `Quick test_accumulation_across_kernels;
+          Alcotest.test_case "cycles vs latency" `Quick test_cycles_scale_with_latency;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_payload_counts ] );
+    ]

@@ -1,0 +1,217 @@
+(* Unit and property tests for the numkit library: RNG determinism
+   and distribution sanity, statistics, and the RNMSE variability
+   measure of paper Eq. 4. *)
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Numkit.Rng.create 42L and b = Numkit.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Numkit.Rng.next_int64 a)
+      (Numkit.Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Numkit.Rng.create 1L and b = Numkit.Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" true
+    (Numkit.Rng.next_int64 a <> Numkit.Rng.next_int64 b)
+
+let test_of_string_stable () =
+  let a = Numkit.Rng.of_string "hello" and b = Numkit.Rng.of_string "hello" in
+  Alcotest.(check int64) "same hash stream" (Numkit.Rng.next_int64 a)
+    (Numkit.Rng.next_int64 b);
+  let c = Numkit.Rng.of_string "hellp" in
+  Alcotest.(check bool) "near-collision differs" true
+    (Numkit.Rng.next_int64 (Numkit.Rng.of_string "hello")
+     <> Numkit.Rng.next_int64 c)
+
+let test_split_independent () =
+  let parent = Numkit.Rng.create 7L in
+  let c1 = Numkit.Rng.split parent "a" and c2 = Numkit.Rng.split parent "b" in
+  Alcotest.(check bool) "children differ" true
+    (Numkit.Rng.next_int64 c1 <> Numkit.Rng.next_int64 c2);
+  (* Splitting does not advance the parent. *)
+  let c1' = Numkit.Rng.split parent "a" in
+  Alcotest.(check int64) "split is pure" (Numkit.Rng.next_int64 c1')
+    (Numkit.Rng.next_int64 (Numkit.Rng.split parent "a"))
+
+let test_float_range () =
+  let rng = Numkit.Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let x = Numkit.Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_int_range () =
+  let rng = Numkit.Rng.create 4L in
+  let seen = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = Numkit.Rng.int rng 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "int out of range: %d" k;
+    seen.(k) <- seen.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 then Alcotest.failf "bucket %d badly undersampled: %d" i c)
+    seen
+
+let test_normal_moments () =
+  let rng = Numkit.Rng.create 5L in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Numkit.Rng.normal rng ~mu:3.0 ~sigma:2.0) in
+  let mean = Numkit.Stats.mean xs and sd = Numkit.Stats.stddev xs in
+  Alcotest.(check (float 0.05)) "mean" 3.0 mean;
+  Alcotest.(check (float 0.05)) "stddev" 2.0 sd
+
+let test_normal_zero_sigma () =
+  let rng = Numkit.Rng.create 6L in
+  check_float "sigma=0 is mu" 1.5 (Numkit.Rng.normal rng ~mu:1.5 ~sigma:0.0)
+
+let test_copy_diverges_from_original () =
+  let a = Numkit.Rng.create 9L in
+  ignore (Numkit.Rng.next_int64 a);
+  let b = Numkit.Rng.copy a in
+  Alcotest.(check int64) "copy resumes at same point" (Numkit.Rng.next_int64 a)
+    (Numkit.Rng.next_int64 b)
+
+let test_shuffle_permutes () =
+  let rng = Numkit.Rng.create 11L in
+  let a = Array.init 50 (fun i -> i) in
+  Numkit.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mean_variance () =
+  check_float "mean" 2.0 (Numkit.Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "variance" (2.0 /. 3.0) (Numkit.Stats.variance [| 1.0; 2.0; 3.0 |]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Numkit.Stats.mean [||]))
+
+let test_median () =
+  check_float "odd" 2.0 (Numkit.Stats.median [| 3.0; 1.0; 2.0 |]);
+  check_float "even" 2.5 (Numkit.Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  check_float "single" 7.0 (Numkit.Stats.median [| 7.0 |])
+
+let test_median_does_not_mutate () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  ignore (Numkit.Stats.median a);
+  Alcotest.(check (array (float 0.0))) "input intact" [| 3.0; 1.0; 2.0 |] a
+
+let test_quantile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "q0" 1.0 (Numkit.Stats.quantile a 0.0);
+  check_float "q1" 5.0 (Numkit.Stats.quantile a 1.0);
+  check_float "q0.5" 3.0 (Numkit.Stats.quantile a 0.5);
+  check_float "q0.25" 2.0 (Numkit.Stats.quantile a 0.25)
+
+let test_kahan_sum () =
+  (* Sum that naive accumulation gets wrong at double precision. *)
+  let a = Array.make 10_001 1e-8 in
+  a.(0) <- 1e8;
+  let s = Numkit.Stats.sum a in
+  Alcotest.(check (float 1e-8)) "compensated" (1e8 +. 1e-4) s
+
+let test_rnmse_identical_is_zero () =
+  let m = [| 10.0; 20.0; 30.0 |] in
+  check_float "identical" 0.0 (Numkit.Stats.rnmse m m)
+
+let test_rnmse_zero_mean_is_one () =
+  check_float "zero mean" 1.0 (Numkit.Stats.rnmse [| 0.0; 0.0 |] [| 1.0; 2.0 |]);
+  check_float "zero mean arg1" 1.0 (Numkit.Stats.rnmse [| 1.0; 2.0 |] [| 0.0; 0.0 |])
+
+let test_rnmse_known_value () =
+  (* ||(1,-1)|| / sqrt(2 * 1.5 * 2.5)  =  sqrt(2)/sqrt(7.5) *)
+  let v = Numkit.Stats.rnmse [| 1.0; 2.0 |] [| 2.0; 3.0 |] in
+  check_float "hand computed" (sqrt 2.0 /. sqrt 7.5) v
+
+let test_max_rnmse () =
+  let reps = [ [| 1.0; 1.0 |]; [| 1.0; 1.0 |]; [| 2.0; 2.0 |] ] in
+  let expected = Numkit.Stats.rnmse [| 1.0; 1.0 |] [| 2.0; 2.0 |] in
+  check_float "max over pairs" expected (Numkit.Stats.max_rnmse reps);
+  check_float "single rep" 0.0 (Numkit.Stats.max_rnmse [ [| 1.0 |] ])
+
+let test_elementwise () =
+  let vs = [ [| 1.0; 10.0 |]; [| 3.0; 30.0 |]; [| 2.0; 20.0 |] ] in
+  Alcotest.(check (array (float 1e-12))) "mean" [| 2.0; 20.0 |]
+    (Numkit.Stats.elementwise_mean vs);
+  Alcotest.(check (array (float 1e-12))) "median" [| 2.0; 20.0 |]
+    (Numkit.Stats.elementwise_median vs)
+
+let test_all_zero () =
+  Alcotest.(check bool) "zeros" true (Numkit.Stats.all_zero [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "nonzero" false (Numkit.Stats.all_zero [| 0.0; 1e-30 |])
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nonempty_floats =
+  (* Counter-like data: non-negative. *)
+  QCheck.(array_of_size Gen.(int_range 1 20) (float_range 0. 1000.))
+
+let prop_rnmse_symmetric =
+  QCheck.Test.make ~name:"rnmse symmetric" ~count:200
+    QCheck.(pair nonempty_floats nonempty_floats)
+    (fun (a, b) ->
+      QCheck.assume (Array.length a = Array.length b);
+      let x = Numkit.Stats.rnmse a b and y = Numkit.Stats.rnmse b a in
+      Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x))
+
+let prop_median_bounds =
+  QCheck.Test.make ~name:"median within min/max" ~count:500 nonempty_floats
+    (fun a ->
+      let m = Numkit.Stats.median a in
+      let lo = Array.fold_left Float.min infinity a in
+      let hi = Array.fold_left Float.max neg_infinity a in
+      m >= lo -. 1e-12 && m <= hi +. 1e-12)
+
+let prop_mean_linear =
+  QCheck.Test.make ~name:"mean scales linearly" ~count:200 nonempty_floats
+    (fun a ->
+      let scaled = Array.map (fun x -> 3.0 *. x) a in
+      Float.abs ((3.0 *. Numkit.Stats.mean a) -. Numkit.Stats.mean scaled)
+      <= 1e-6 *. Float.max 1.0 (Float.abs (Numkit.Stats.mean scaled)))
+
+let () =
+  Alcotest.run "numkit"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "of_string stable" `Quick test_of_string_stable;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+          Alcotest.test_case "int uniform" `Quick test_int_range;
+          Alcotest.test_case "normal moments" `Slow test_normal_moments;
+          Alcotest.test_case "normal sigma=0" `Quick test_normal_zero_sigma;
+          Alcotest.test_case "copy preserves state" `Quick test_copy_diverges_from_original;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "median pure" `Quick test_median_does_not_mutate;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "kahan sum" `Quick test_kahan_sum;
+          Alcotest.test_case "rnmse identical" `Quick test_rnmse_identical_is_zero;
+          Alcotest.test_case "rnmse zero-mean" `Quick test_rnmse_zero_mean_is_one;
+          Alcotest.test_case "rnmse known value" `Quick test_rnmse_known_value;
+          Alcotest.test_case "max rnmse" `Quick test_max_rnmse;
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "all_zero" `Quick test_all_zero;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rnmse_symmetric; prop_median_bounds; prop_mean_linear ] );
+    ]

@@ -1,0 +1,116 @@
+(* Tests for the standard column-pivoted QR (paper Algorithm 1),
+   which serves as the baseline the specialized scheme is compared
+   against. *)
+
+let mat_of_cols cols = Linalg.Mat.of_cols (Array.of_list (List.map Array.of_list cols))
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p -> p >= 0 && p < n && not seen.(p) && (seen.(p) <- true; true))
+    perm
+
+let test_perm_valid () =
+  let a = mat_of_cols [ [ 1.; 0.; 0. ]; [ 0.; 2.; 0. ]; [ 0.; 0.; 3. ] ] in
+  let r = Linalg.Qrcp.factor a in
+  Alcotest.(check bool) "permutation" true (is_permutation r.Linalg.Qrcp.perm)
+
+let test_largest_norm_first () =
+  let a =
+    mat_of_cols [ [ 1.; 0.; 0. ]; [ 0.; 100.; 0. ]; [ 0.; 0.; 10. ] ]
+  in
+  let r = Linalg.Qrcp.factor a in
+  Alcotest.(check int) "largest column first" 1 r.Linalg.Qrcp.perm.(0);
+  Alcotest.(check int) "second largest next" 2 r.Linalg.Qrcp.perm.(1)
+
+let test_rank_full () =
+  let a = mat_of_cols [ [ 1.; 1.; 0. ]; [ 0.; 1.; 1. ]; [ 1.; 0.; 1. ] ] in
+  Alcotest.(check int) "full rank" 3 (Linalg.Qrcp.factor a).Linalg.Qrcp.rank
+
+let test_rank_deficient () =
+  (* Column 2 = 2 * column 0; column 3 = column 0 + column 1. *)
+  let a =
+    mat_of_cols
+      [ [ 1.; 0.; 2. ]; [ 0.; 1.; 1. ]; [ 2.; 0.; 4. ]; [ 1.; 1.; 3. ] ]
+  in
+  Alcotest.(check int) "rank 2" 2 (Linalg.Qrcp.factor a).Linalg.Qrcp.rank
+
+let test_zero_matrix () =
+  let a = Linalg.Mat.create 3 3 in
+  Alcotest.(check int) "rank 0" 0 (Linalg.Qrcp.factor a).Linalg.Qrcp.rank
+
+let test_independent_columns_sorted () =
+  let a =
+    mat_of_cols [ [ 1.; 0.; 0. ]; [ 2.; 0.; 0. ]; [ 0.; 3.; 0. ]; [ 0.; 0.; 4. ] ]
+  in
+  let idx = Linalg.Qrcp.independent_columns a in
+  Alcotest.(check int) "three independent" 3 (Array.length idx);
+  let sorted = Array.copy idx in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "ascending" sorted idx
+
+let test_chosen_columns_independent () =
+  let a =
+    mat_of_cols
+      [ [ 1.; 2.; 3.; 4. ]; [ 2.; 4.; 6.; 8. ]; [ 0.; 1.; 0.; 1. ];
+        [ 1.; 3.; 3.; 5. ]; [ 5.; 5.; 5.; 5. ] ]
+  in
+  let idx = Linalg.Qrcp.independent_columns a in
+  let sub = Linalg.Mat.select_cols a idx in
+  Alcotest.(check int) "selected columns full rank" (Array.length idx)
+    (Linalg.Qr.rank (Linalg.Qr.factor sub))
+
+(* The motivating pathology from paper Section II: with norm
+   pivoting, a cycles-like column with a huge norm is preferred even
+   though it is irrelevant to the concept of interest. *)
+let test_norm_pivot_prefers_cycles () =
+  let flops = [ 24.; 48.; 96.; 0. ] in
+  let cycles = [ 1.0e6; 1.1e6; 1.3e6; 0.9e6 ] in
+  let a = mat_of_cols [ flops; cycles ] in
+  let r = Linalg.Qrcp.factor a in
+  Alcotest.(check int) "cycles wins under norm pivoting" 1 r.Linalg.Qrcp.perm.(0)
+
+let prop_perm_always_valid =
+  QCheck.Test.make ~name:"perm is a permutation" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          int_range 2 6 >>= fun n ->
+          int_range n 8 >>= fun m ->
+          array_size (return (m * n)) (float_range (-5.0) 5.0) >>= fun d ->
+          return (m, n, d)))
+    (fun (m, n, d) ->
+      let a = Linalg.Mat.init m n (fun i j -> d.((i * n) + j)) in
+      is_permutation (Linalg.Qrcp.factor a).Linalg.Qrcp.perm)
+
+let prop_rank_le_dims =
+  QCheck.Test.make ~name:"rank <= min(m,n)" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          int_range 1 5 >>= fun n ->
+          int_range 1 7 >>= fun m ->
+          array_size (return (m * n)) (float_range (-5.0) 5.0) >>= fun d ->
+          return (m, n, d)))
+    (fun (m, n, d) ->
+      let a = Linalg.Mat.init m n (fun i j -> d.((i * n) + j)) in
+      (Linalg.Qrcp.factor a).Linalg.Qrcp.rank <= min m n)
+
+let () =
+  Alcotest.run "qrcp"
+    [
+      ( "factor",
+        [
+          Alcotest.test_case "perm valid" `Quick test_perm_valid;
+          Alcotest.test_case "largest norm first" `Quick test_largest_norm_first;
+          Alcotest.test_case "full rank" `Quick test_rank_full;
+          Alcotest.test_case "rank deficient" `Quick test_rank_deficient;
+          Alcotest.test_case "zero matrix" `Quick test_zero_matrix;
+          Alcotest.test_case "independent columns sorted" `Quick test_independent_columns_sorted;
+          Alcotest.test_case "chosen columns independent" `Quick test_chosen_columns_independent;
+          Alcotest.test_case "norm pivot prefers cycles" `Quick test_norm_pivot_prefers_cycles;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_perm_always_valid; prop_rank_le_dims ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the specialized QRCP (paper Algorithm 2): the rounding
+   and scoring formulas (including the paper's worked example), pivot
+   selection, the beta termination rule, and linear-independence
+   guarantees. *)
+
+let mat_of_cols cols = Linalg.Mat.of_cols (Array.of_list (List.map Array.of_list cols))
+
+(* ------------------------------------------------------------------ *)
+(* Rounding and scoring formulas                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_round_value () =
+  let r = Core.Special_qrcp.round_value ~alpha:0.01 in
+  Alcotest.(check (float 1e-12)) "1.002 -> 1.0" 1.0 (r 1.002);
+  Alcotest.(check (float 1e-12)) "0.001 -> 0" 0.0 (r 0.001);
+  Alcotest.(check (float 1e-12)) "0.5 stays" 0.5 (r 0.5);
+  Alcotest.(check (float 1e-12)) "1.5 stays" 1.5 (r 1.5);
+  Alcotest.(check (float 1e-12)) "negative" (-1.0) (r (-0.998));
+  Alcotest.(check (float 1e-12)) "-0.5 stays" (-0.5) (r (-0.5))
+
+let test_score_value () =
+  Alcotest.(check (float 1e-12)) "v >= 1" 2.5 (Core.Special_qrcp.score_value 2.5);
+  Alcotest.(check (float 1e-12)) "exactly 1" 1.0 (Core.Special_qrcp.score_value 1.0);
+  Alcotest.(check (float 1e-12)) "0 < v < 1" 4.0 (Core.Special_qrcp.score_value 0.25);
+  Alcotest.(check (float 1e-12)) "zero" 0.0 (Core.Special_qrcp.score_value 0.0);
+  Alcotest.(check (float 1e-12)) "abs" 2.0 (Core.Special_qrcp.score_value (-0.5))
+
+let test_paper_worked_example () =
+  (* Section V: alpha = 0.01, vector (1.002, 0.001, -0.5, 1.5) scores
+     1 + 0 + 1/0.5 + 1.5 = 4.5. *)
+  Alcotest.(check (float 1e-12)) "paper example" 4.5
+    (Core.Special_qrcp.column_score ~alpha:0.01 [| 1.002; 0.001; -0.5; 1.5 |])
+
+let test_beta () =
+  Alcotest.(check (float 1e-15)) "alpha * sqrt(m)" (0.05 *. 2.0)
+    (Core.Special_qrcp.beta ~alpha:0.05 ~rows:4)
+
+let test_round_rejects_bad_alpha () =
+  Alcotest.check_raises "alpha <= 0"
+    (Invalid_argument "Special_qrcp.round_value: alpha <= 0") (fun () ->
+      ignore (Core.Special_qrcp.round_value ~alpha:0.0 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Pivot selection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefers_axis_columns_over_aggregates () =
+  (* e1, e2 and their sum: the sum scores 2, the axes score 1; the
+     factorization must keep the axes and drop the sum as dependent. *)
+  let x = mat_of_cols [ [ 1.; 1.; 0. ]; [ 1.; 0.; 0. ]; [ 0.; 1.; 0. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-4 x in
+  Alcotest.(check int) "rank 2" 2 r.Core.Special_qrcp.rank;
+  let chosen = Array.sub r.Core.Special_qrcp.perm 0 2 in
+  Array.sort compare chosen;
+  Alcotest.(check (array int)) "axes chosen" [| 1; 2 |] chosen
+
+let test_prefers_small_values_over_large () =
+  (* A cycles-like column with huge entries scores astronomically;
+     the unit column wins even though its norm is tiny by
+     comparison — the exact inversion of standard QRCP. *)
+  let x = mat_of_cols [ [ 1.0e6; 1.1e6 ]; [ 1.; 0. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-4 x in
+  Alcotest.(check int) "unit column first" 1 r.Core.Special_qrcp.perm.(0)
+
+let test_duplicate_column_dropped () =
+  let x = mat_of_cols [ [ 1.; 0. ]; [ 1.; 0. ]; [ 0.; 1. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-4 x in
+  Alcotest.(check int) "rank 2" 2 r.Core.Special_qrcp.rank
+
+let test_scaled_copy_dropped () =
+  let x = mat_of_cols [ [ 1.; 0. ]; [ 3.; 0. ]; [ 0.; 1. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-4 x in
+  Alcotest.(check int) "rank 2" 2 r.Core.Special_qrcp.rank
+
+let test_noise_within_alpha_treated_as_clean () =
+  (* 0.9997 rounds to 1 under alpha = 0.05 and scores like a true
+     axis; under alpha = 1e-5 it scores 1/0.9997 > 1. *)
+  let col = [| 0.9997; 0.0002 |] in
+  Alcotest.(check (float 1e-9)) "coarse alpha" 1.0
+    (Core.Special_qrcp.column_score ~alpha:0.05 col);
+  Alcotest.(check bool) "fine alpha penalizes" true
+    (Core.Special_qrcp.column_score ~alpha:1e-5 col > 1.0)
+
+let test_near_zero_column_never_chosen () =
+  let x = mat_of_cols [ [ 1e-5; 2e-5 ]; [ 1.; 0. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-2 x in
+  Alcotest.(check int) "rank 1" 1 r.Core.Special_qrcp.rank;
+  Alcotest.(check int) "unit chosen" 1 r.Core.Special_qrcp.perm.(0)
+
+let test_terminates_on_all_dependent () =
+  let x = mat_of_cols [ [ 1.; 2. ]; [ 2.; 4. ]; [ 3.; 6. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-4 x in
+  Alcotest.(check int) "rank 1" 1 r.Core.Special_qrcp.rank
+
+let test_tie_break_by_norm () =
+  (* Both columns score 1 (values 1 and ~1); smaller norm wins. *)
+  let x = mat_of_cols [ [ 1.0008; 0. ]; [ 0.; 0.9992 ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-2 x in
+  Alcotest.(check int) "smaller norm first" 1 r.Core.Special_qrcp.perm.(0)
+
+let test_tie_break_by_original_index () =
+  (* Identical columns up to fuzz: catalog order decides. *)
+  let x = mat_of_cols [ [ 0.; 1. ]; [ 1.; 0. ]; [ 1.; 0. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-2 x in
+  Alcotest.(check int) "first of the tied pair" 0 r.Core.Special_qrcp.perm.(0)
+
+let test_scores_recorded () =
+  let x = mat_of_cols [ [ 1.; 0.; 0. ]; [ 0.; 1.; 2. ] ] in
+  let r = Core.Special_qrcp.factor ~alpha:5e-4 x in
+  Alcotest.(check int) "two picks" 2 (Array.length r.Core.Special_qrcp.scores);
+  Alcotest.(check (float 1e-9)) "first score 1" 1.0 r.Core.Special_qrcp.scores.(0);
+  Alcotest.(check (float 1e-9)) "second score 3" 3.0 r.Core.Special_qrcp.scores.(1)
+
+let test_chosen_columns_helper () =
+  let x = mat_of_cols [ [ 1.; 0. ]; [ 0.; 1. ]; [ 1.; 1. ] ] in
+  let chosen = Core.Special_qrcp.chosen_columns ~alpha:5e-4 x in
+  Alcotest.(check int) "two chosen" 2 (Array.length chosen)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_matrix =
+  QCheck.make
+    ~print:(fun (m, n, _) -> Printf.sprintf "%dx%d" m n)
+    QCheck.Gen.(
+      int_range 2 6 >>= fun m ->
+      int_range 1 8 >>= fun n ->
+      array_size (return (m * n)) (float_range (-3.0) 3.0) >>= fun d ->
+      return (m, n, d))
+
+let mat_of (m, n, d) = Linalg.Mat.init m n (fun i j -> d.((i * n) + j))
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p -> p >= 0 && p < n && not seen.(p) && (seen.(p) <- true; true))
+    perm
+
+let prop_perm_valid =
+  QCheck.Test.make ~name:"perm is a permutation" ~count:200 gen_matrix
+    (fun spec ->
+      let r = Core.Special_qrcp.factor ~alpha:5e-4 (mat_of spec) in
+      is_permutation r.Core.Special_qrcp.perm)
+
+let prop_chosen_independent =
+  QCheck.Test.make ~name:"chosen columns linearly independent" ~count:200
+    gen_matrix (fun spec ->
+      let x = mat_of spec in
+      let r = Core.Special_qrcp.factor ~alpha:5e-4 x in
+      r.Core.Special_qrcp.rank = 0
+      ||
+      let sub =
+        Linalg.Mat.select_cols x (Array.sub r.Core.Special_qrcp.perm 0 r.Core.Special_qrcp.rank)
+      in
+      Linalg.Qr.rank ~tol:1e-8 (Linalg.Qr.factor sub) = r.Core.Special_qrcp.rank)
+
+let prop_rank_bounded =
+  QCheck.Test.make ~name:"rank <= min(m,n)" ~count:200 gen_matrix (fun spec ->
+      let m, n, _ = spec in
+      let r = Core.Special_qrcp.factor ~alpha:5e-4 (mat_of spec) in
+      r.Core.Special_qrcp.rank <= min m n)
+
+let prop_alpha_widening_never_increases_rank_on_noisy_duplicates =
+  (* With duplicated columns perturbed by noise below alpha/2, the
+     factorization must not count the duplicate as new information. *)
+  QCheck.Test.make ~name:"noisy duplicate not double-counted" ~count:100
+    QCheck.(pair (int_range 2 5) (float_range 0.0 0.02))
+    (fun (m, eps) ->
+      let base = Array.init m (fun i -> if i = 0 then 1.0 else 0.0) in
+      let noisy = Array.mapi (fun i v -> if i = 1 then v +. eps else v) base in
+      let x = Linalg.Mat.of_cols [| base; noisy |] in
+      let r = Core.Special_qrcp.factor ~alpha:0.05 x in
+      r.Core.Special_qrcp.rank = 1
+      || (* the perturbation is genuine new direction only if its
+            trailing norm clears beta = 0.05 * sqrt m *)
+      eps >= 0.05)
+
+let () =
+  Alcotest.run "special_qrcp"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "round_value" `Quick test_round_value;
+          Alcotest.test_case "score_value" `Quick test_score_value;
+          Alcotest.test_case "paper worked example" `Quick test_paper_worked_example;
+          Alcotest.test_case "beta" `Quick test_beta;
+          Alcotest.test_case "alpha validation" `Quick test_round_rejects_bad_alpha;
+        ] );
+      ( "pivoting",
+        [
+          Alcotest.test_case "axes over aggregates" `Quick test_prefers_axis_columns_over_aggregates;
+          Alcotest.test_case "small over large" `Quick test_prefers_small_values_over_large;
+          Alcotest.test_case "duplicate dropped" `Quick test_duplicate_column_dropped;
+          Alcotest.test_case "scaled copy dropped" `Quick test_scaled_copy_dropped;
+          Alcotest.test_case "alpha cleans noise" `Quick test_noise_within_alpha_treated_as_clean;
+          Alcotest.test_case "near-zero never chosen" `Quick test_near_zero_column_never_chosen;
+          Alcotest.test_case "terminates on dependent" `Quick test_terminates_on_all_dependent;
+          Alcotest.test_case "tie-break by norm" `Quick test_tie_break_by_norm;
+          Alcotest.test_case "tie-break by index" `Quick test_tie_break_by_original_index;
+          Alcotest.test_case "scores recorded" `Quick test_scores_recorded;
+          Alcotest.test_case "chosen_columns" `Quick test_chosen_columns_helper;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_perm_valid; prop_chosen_independent; prop_rank_bounded;
+            prop_alpha_widening_never_increases_rank_on_noisy_duplicates ] );
+    ]
