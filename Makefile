@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench repro examples figures docs clean
+.PHONY: all build test check bench repro examples figures docs clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	dune runtest
+
+# Single CI entry point: build, full test suite, and an observability
+# smoke run (per-stage timings + counters on one category).
+check:
+	dune build
+	dune runtest
+	dune exec bin/analyze.exe -- -c cpu-flops --stats --show summary
 
 # Full reproduction: every table and figure, plus stage timings.
 bench:

@@ -29,40 +29,47 @@ let result_of = function
   | Core.Category.Branch -> Lazy.force br
   | Core.Category.Dcache -> Lazy.force dc
 
-let stage_tests category =
-  let name suffix = Printf.sprintf "%s/%s" (Core.Category.name category) suffix in
+(* One closure per pipeline stage, shared by the Bechamel tests and
+   the per-stage counter-delta report below. *)
+let stage_fns category =
   let r = result_of category in
   let dataset = Core.Category.dataset category in
   let basis = r.Core.Pipeline.basis in
   let kept = Core.Noise_filter.kept r.Core.Pipeline.classified in
   [
     (* Figure 2: the noise analysis of Section IV. *)
-    Test.make ~name:(name "fig2-noise-filter")
-      (Staged.stage (fun () ->
-           ignore (Core.Noise_filter.classify ~tau:r.Core.Pipeline.config.tau dataset)));
+    ( "fig2-noise-filter",
+      fun () ->
+        ignore (Core.Noise_filter.classify ~tau:r.Core.Pipeline.config.tau dataset) );
     (* Section III-B: projection into the expectation basis. *)
-    Test.make ~name:(name "projection")
-      (Staged.stage (fun () ->
-           ignore
-             (Core.Projection.project
-                ~tol:r.Core.Pipeline.config.projection_tol basis kept)));
+    ( "projection",
+      fun () ->
+        ignore
+          (Core.Projection.project ~tol:r.Core.Pipeline.config.projection_tol
+             basis kept) );
     (* Section V: the specialized QRCP. *)
-    Test.make ~name:(name "special-qrcp")
-      (Staged.stage (fun () ->
-           ignore
-             (Core.Special_qrcp.factor ~alpha:r.Core.Pipeline.config.alpha
-                r.Core.Pipeline.x)));
+    ( "special-qrcp",
+      fun () ->
+        ignore
+          (Core.Special_qrcp.factor ~alpha:r.Core.Pipeline.config.alpha
+             r.Core.Pipeline.x) );
     (* Baseline Algorithm 1 on the same X. *)
-    Test.make ~name:(name "standard-qrcp-baseline")
-      (Staged.stage (fun () -> ignore (Linalg.Qrcp.factor r.Core.Pipeline.x)));
+    ( "standard-qrcp-baseline",
+      fun () -> ignore (Linalg.Qrcp.factor r.Core.Pipeline.x) );
     (* Section VI / Tables V-VIII: the least-squares metric solve. *)
-    Test.make ~name:(name "metric-lstsq")
-      (Staged.stage (fun () ->
-           ignore
-             (Core.Metric_solver.define_all ~xhat:r.Core.Pipeline.xhat
-                ~names:r.Core.Pipeline.chosen_names ~basis
-                (Core.Category.signatures category))));
+    ( "metric-lstsq",
+      fun () ->
+        ignore
+          (Core.Metric_solver.define_all ~xhat:r.Core.Pipeline.xhat
+             ~names:r.Core.Pipeline.chosen_names ~basis
+             (Core.Category.signatures category)) );
   ]
+
+let stage_tests category =
+  let name suffix = Printf.sprintf "%s/%s" (Core.Category.name category) suffix in
+  List.map
+    (fun (suffix, fn) -> Test.make ~name:(name suffix) (Staged.stage fn))
+    (stage_fns category)
 
 let fig3_test =
   lazy
@@ -164,6 +171,40 @@ let extension_tests =
      ])
 
 (* ------------------------------------------------------------------ *)
+(* Per-stage observability: counter deltas and span timings.           *)
+(* Future BENCH_*.json trajectories can attribute ns/run movements to  *)
+(* the stage whose counters moved.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let print_stage_stats () =
+  let summary = Obs.Summary.create () in
+  Obs.install (Obs.Summary.sink summary);
+  List.iter
+    (fun category ->
+      Printf.printf "\ncounter deltas per stage (%s):\n"
+        (Core.Category.name category);
+      List.iter
+        (fun (suffix, fn) ->
+          Obs.reset_counters ();
+          fn ();
+          let deltas = Obs.counters () in
+          Printf.printf "  %-24s %s\n" suffix
+            (if deltas = [] then "-"
+             else
+               String.concat " "
+                 (List.map (fun (n, v) -> Printf.sprintf "%s=%g" n v) deltas)))
+        (stage_fns category))
+    Core.Category.all;
+  Printf.printf "\nspan timings (one fresh pipeline run per category):\n";
+  Obs.Summary.reset summary;
+  Obs.reset_counters ();
+  List.iter (fun c -> ignore (Core.Pipeline.run c)) Core.Category.all;
+  print_string (Obs.Summary.render summary);
+  (* Leave no sink behind: the Bechamel timings below must run on the
+     zero-overhead disabled path. *)
+  Obs.clear ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel boilerplate                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -206,7 +247,12 @@ let () =
   print_endline "# Reproduction: every table and figure of the paper                  #";
   print_endline "######################################################################";
   print_string (Core.Report.all_tables ());
-  (* Part 2: timings. *)
+  (* Part 2: per-stage counters and span timings via the obs layer. *)
+  print_endline "######################################################################";
+  print_endline "# Stage observability: counter deltas and span timings               #";
+  print_endline "######################################################################";
+  print_stage_stats ();
+  (* Part 3: timings. *)
   print_endline "######################################################################";
   print_endline "# Bechamel timings: one benchmark per table/figure stage             #";
   print_endline "######################################################################";

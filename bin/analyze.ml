@@ -53,13 +53,26 @@ let csv_file =
              --category to select the expectation basis and signatures." in
   Arg.(value & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let trace_file =
+  let doc = "Write a Chrome-trace-format JSON trace of the run to $(docv); \
+             load it in chrome://tracing or ui.perfetto.dev.  Spans cover \
+             every pipeline stage down to individual QRCP pivot decisions." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_flag =
+  let doc = "After each category, print per-stage span timings and the \
+             pipeline counters (events kept/too-noisy/all-zero, projection \
+             accept/reject, QRCP pivots, simulated readings)." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_category ?csv ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections category =
+let run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections
+    category =
   let tau =
     match auto_tau with
     | None -> tau
@@ -81,6 +94,13 @@ let run_category ?csv ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections category =
       reps;
     }
   in
+  (* Counters restart per category so --stats matches this category's
+     filter summary exactly (auto-tau probing above is excluded). *)
+  Option.iter
+    (fun s ->
+      Obs.Summary.reset s;
+      Obs.reset_counters ())
+    summary;
   let r =
     match csv with
     | None -> Core.Pipeline.run ~config category
@@ -103,21 +123,52 @@ let run_category ?csv ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections category =
   if wants "metrics" then print_string (Core.Report.metric_table r);
   if wants "fig3" && category = Core.Category.Dcache then
     print_string (Core.Report.fig3_text r);
+  Option.iter
+    (fun s ->
+      Printf.printf "Stage stats for %s:\n%s" (Core.Category.name category)
+        (Obs.Summary.render s))
+    summary;
   print_newline ()
 
-let main category tau alpha proj_tol reps sections csv auto_tau =
+let main category tau alpha proj_tol reps sections csv auto_tau trace stats =
   let sections = String.split_on_char ',' sections |> List.map String.trim in
-  match (csv, category) with
+  let chrome =
+    Option.map
+      (fun _ ->
+        let c = Obs.Chrome_trace.create () in
+        Obs.install (Obs.Chrome_trace.sink c);
+        c)
+      trace
+  in
+  let summary =
+    if stats then begin
+      let s = Obs.Summary.create () in
+      Obs.install (Obs.Summary.sink s);
+      Some s
+    end
+    else None
+  in
+  (match (csv, category) with
   | Some _, None ->
     prerr_endline "analyze: --csv requires --category";
     exit 2
   | Some _, Some c ->
-    run_category ?csv ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections c
-  | None, Some c -> run_category ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections c
+    run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections c
+  | None, Some c ->
+    run_category ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections c
   | None, None ->
     List.iter
-      (run_category ?auto_tau ~tau ~alpha ~proj_tol ~reps ~sections)
-      Core.Category.all
+      (run_category ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections)
+      Core.Category.all);
+  match (trace, chrome) with
+  | Some path, Some c -> (
+    try
+      Obs.Chrome_trace.write_file c path;
+      Printf.eprintf "trace written to %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "analyze: cannot write trace: %s\n" msg;
+      exit 1)
+  | _ -> ()
 
 let cmd =
   let doc =
@@ -128,6 +179,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
-      $ csv_file $ auto_tau)
+      $ csv_file $ auto_tau $ trace_file $ stats_flag)
 
 let () = exit (Cmd.eval cmd)

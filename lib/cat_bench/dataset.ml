@@ -15,13 +15,20 @@ let default_reps = 5
 let of_activities ~name ~seed ~reps ~events ~rows ~row_labels =
   if Array.length rows <> Array.length row_labels then
     invalid_arg "Dataset.of_activities: rows/labels mismatch";
-  let measurements =
-    List.map
-      (fun event ->
-        { event; reps = Hwsim.Machine.measure_repetitions ~seed ~reps event rows })
-      events
-  in
-  { name; row_labels; reps; measurements }
+  Obs.span "dataset-build" (fun () ->
+      Obs.attr_str "dataset" name;
+      Obs.attr_int "reps" reps;
+      let measurements =
+        List.map
+          (fun event ->
+            if Obs.enabled () then begin
+              Obs.incr "dataset.events_measured";
+              Obs.add "dataset.repetitions" (float_of_int reps)
+            end;
+            { event; reps = Hwsim.Machine.measure_repetitions ~seed ~reps event rows })
+          events
+      in
+      { name; row_labels; reps; measurements })
 
 let memo f =
   (* Datasets at default repetitions are deterministic: build once. *)
@@ -62,6 +69,9 @@ let zen_flops =
         ~row_labels:Flops_kernels.row_labels)
 
 let dcache_build ~reduce ~reps =
+  Obs.span "dataset-build" @@ fun () ->
+  Obs.attr_str "dataset" "dcache";
+  Obs.attr_int "reps" reps;
   let configs = Array.of_list Cache_kernels.configs in
   let nrows = Array.length configs in
   (* activities.(rep).(row).(thread) *)
@@ -92,6 +102,12 @@ let dcache_build ~reduce ~reps =
   let measurements =
     List.map
       (fun event ->
+        if Obs.enabled () then begin
+          Obs.incr "dataset.events_measured";
+          Obs.add "dataset.repetitions" (float_of_int reps);
+          Obs.add "dataset.thread_reductions"
+            (float_of_int (reps * nrows))
+        end;
         { event; reps = List.init reps (fun rep -> measure_rep event rep) })
       Hwsim.Catalog_sapphire_rapids.events
   in

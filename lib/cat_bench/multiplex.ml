@@ -23,6 +23,7 @@ let group_of_event cfg ~n_events ~event_index =
 let measure cfg ~seed ~rep ~row ~event_index ~n_events (event : Hwsim.Event.t)
     activity =
   validate cfg;
+  Obs.incr "multiplex.measurements";
   let ideal = Hwsim.Event.ideal_value event activity in
   let n_groups = groups cfg ~n_events in
   (* The event's group is active in every n_groups-th slice.  The
@@ -67,7 +68,12 @@ let measure cfg ~seed ~rep ~row ~event_index ~n_events (event : Hwsim.Event.t)
   Hwsim.Noise_model.apply event.Hwsim.Event.noise rng_noise value
 
 let dataset cfg ~name ~seed ~reps ~events ~rows ~row_labels =
+  Obs.span "multiplex-dataset" @@ fun () ->
   let n_events = List.length events in
+  if Obs.enabled () then begin
+    Obs.attr_str "dataset" name;
+    Obs.add "multiplex.batches" (float_of_int (groups cfg ~n_events))
+  end;
   let measurements =
     List.mapi
       (fun event_index event ->

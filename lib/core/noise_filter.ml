@@ -21,24 +21,36 @@ let measure_name = function
   | Max_relative_range -> "max-relative-range"
 
 let classify ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
-  List.map
-    (fun (m : Cat_bench.Dataset.measurement) ->
-      let mean = Numkit.Stats.elementwise_mean m.reps in
-      let every_rep_zero = List.for_all Numkit.Stats.all_zero m.reps in
-      if every_rep_zero then
-        (* Footnote 1: an event that never fires is irrelevant. *)
-        { event = m.event; variability = 0.0; mean; status = All_zero }
-      else begin
-        let variability = apply_measure measure m.reps in
-        (* Non-finite variability (NaN readings from a corrupt import)
-           must never classify as clean. *)
-        let status =
-          if variability > tau || not (Float.is_finite variability) then Too_noisy
-          else Kept
-        in
-        { event = m.event; variability; mean; status }
-      end)
-    dataset.measurements
+  let classified =
+    List.map
+      (fun (m : Cat_bench.Dataset.measurement) ->
+        let mean = Numkit.Stats.elementwise_mean m.reps in
+        let every_rep_zero = List.for_all Numkit.Stats.all_zero m.reps in
+        if every_rep_zero then
+          (* Footnote 1: an event that never fires is irrelevant. *)
+          { event = m.event; variability = 0.0; mean; status = All_zero }
+        else begin
+          let variability = apply_measure measure m.reps in
+          (* Non-finite variability (NaN readings from a corrupt import)
+             must never classify as clean. *)
+          let status =
+            if variability > tau || not (Float.is_finite variability) then Too_noisy
+            else Kept
+          in
+          { event = m.event; variability; mean; status }
+        end)
+      dataset.measurements
+  in
+  if Obs.enabled () then begin
+    let tally status =
+      float_of_int
+        (List.length (List.filter (fun c -> c.status = status) classified))
+    in
+    Obs.add "noise_filter.kept" (tally Kept);
+    Obs.add "noise_filter.too_noisy" (tally Too_noisy);
+    Obs.add "noise_filter.all_zero" (tally All_zero)
+  end;
+  classified
 
 let kept classified = List.filter (fun c -> c.status = Kept) classified
 

@@ -28,18 +28,30 @@ type result = {
   metrics : Metric_solver.metric_def list;
 }
 
-let run_custom ~config ~category ~dataset ~basis ~signatures () =
-  let classified = Noise_filter.classify ~tau:config.tau dataset in
-  let projected =
-    Projection.project ~tol:config.projection_tol basis
-      (Noise_filter.kept classified)
+(* The stages downstream of data collection, shared by [run] (which
+   opens the root span around its own dataset collection) and
+   [run_custom] (which receives the dataset ready-made). *)
+let run_stages ~config ~category ~dataset ~basis ~signatures () =
+  let classified =
+    Obs.span "noise-filter" (fun () -> Noise_filter.classify ~tau:config.tau dataset)
   in
-  let x, x_names = Projection.to_matrix projected in
-  let qr = Special_qrcp.factor ~alpha:config.alpha x in
+  let projected, (x, x_names) =
+    Obs.span "projection" (fun () ->
+        let projected =
+          Projection.project ~tol:config.projection_tol basis
+            (Noise_filter.kept classified)
+        in
+        (projected, Projection.to_matrix projected))
+  in
+  let qr = Obs.span "qrcp" (fun () -> Special_qrcp.factor ~alpha:config.alpha x) in
   let chosen = Array.sub qr.Special_qrcp.perm 0 qr.Special_qrcp.rank in
   let chosen_names = Array.map (fun j -> x_names.(j)) chosen in
   let xhat = Linalg.Mat.select_cols x chosen in
-  let metrics = Metric_solver.define_all ~xhat ~names:chosen_names ~basis signatures in
+  let metrics =
+    Obs.span "metric-solve" (fun () ->
+        Metric_solver.define_all ~xhat ~names:chosen_names ~basis signatures)
+  in
+  if Obs.enabled () then Obs.add "pipeline.metrics_defined" (float_of_int (List.length metrics));
   {
     category;
     config;
@@ -55,14 +67,23 @@ let run_custom ~config ~category ~dataset ~basis ~signatures () =
     metrics;
   }
 
+let run_custom ~config ~category ~dataset ~basis ~signatures () =
+  Obs.span "pipeline" (fun () ->
+      Obs.attr_str "category" (Category.name category);
+      run_stages ~config ~category ~dataset ~basis ~signatures ())
+
 let run ?config category =
   let config =
     match config with Some c -> c | None -> default_config category
   in
-  run_custom ~config ~category
-    ~dataset:(Category.dataset ~reps:config.reps category)
-    ~basis:(Category.basis category)
-    ~signatures:(Category.signatures category) ()
+  Obs.span "pipeline" (fun () ->
+      Obs.attr_str "category" (Category.name category);
+      let dataset =
+        Obs.span "dataset-collect" (fun () ->
+            Category.dataset ~reps:config.reps category)
+      in
+      run_stages ~config ~category ~dataset ~basis:(Category.basis category)
+        ~signatures:(Category.signatures category) ())
 
 let run_all () = List.map (fun c -> run c) Category.all
 

@@ -26,7 +26,18 @@ let project_one basis ~mean =
     (s.Linalg.Lstsq.x, s.Linalg.Lstsq.relative_residual)
   end
 
+let count_projected projected =
+  if Obs.enabled () then begin
+    let acc =
+      List.length (List.filter (fun p -> p.accepted) projected)
+    in
+    Obs.add "projection.accepted" (float_of_int acc);
+    Obs.add "projection.rejected" (float_of_int (List.length projected - acc))
+  end;
+  projected
+
 let project ~tol basis classified =
+  count_projected @@
   let diag = Expectation.diagnostics basis in
   if diag.Expectation.full_rank then begin
     (* Factor E once; every event then costs one orthogonal apply and

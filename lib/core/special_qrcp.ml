@@ -95,6 +95,7 @@ let factor_traced ~alpha x =
        match get_pivot a ~perm ~scores0 ~from:i ~beta_threshold with
        | None -> raise Exit
        | Some (best, step) ->
+         let sp = Obs.begin_span "qrcp-pivot" in
          trace := step :: !trace;
          let pivot = best.c_j in
          Linalg.Mat.swap_cols a i pivot;
@@ -110,7 +111,19 @@ let factor_traced ~alpha x =
            Linalg.Mat.set a r i 0.0
          done;
          Linalg.Householder.apply_to_cols h a ~row0:i ~col0:(i + 1);
-         incr rank
+         incr rank;
+         if sp <> 0 then begin
+           Obs.incr "qrcp.pivots";
+           Obs.attr_int "step" (i + 1);
+           Obs.attr_int "pick" step.pick;
+           Obs.attr_float "score" step.score;
+           Obs.attr_float "trailing_norm" step.trailing_norm;
+           Obs.attr_int "candidates" step.candidates;
+           (match step.runner_up with
+            | Some r -> Obs.attr_int "runner_up" r
+            | None -> Obs.attr_str "runner_up" "none");
+           Obs.end_span sp
+         end
      done
    with Exit -> ());
   ( { perm; rank = !rank; scores = Array.sub scores 0 !rank },

@@ -11,13 +11,21 @@ let plan ~counters events =
       if n = counters then chunk (List.rev current :: acc) [ e ] 1 rest
       else chunk acc (e :: current) (n + 1) rest
   in
-  { counters; groups = chunk [] [] 0 events }
+  let p = { counters; groups = chunk [] [] 0 events } in
+  if Obs.enabled () then begin
+    Obs.incr "session.plans";
+    Obs.add "session.groups" (float_of_int (List.length p.groups));
+    Obs.add "session.events_planned" (float_of_int (List.length events))
+  end;
+  p
 
 let group_count plan = List.length plan.groups
 
 let runs_needed plan ~reps =
   if reps < 0 then invalid_arg "Session.runs_needed: reps < 0";
-  group_count plan * reps
+  let runs = group_count plan * reps in
+  if Obs.enabled () then Obs.add "session.runs_planned" (float_of_int runs);
+  runs
 
 let group_of plan name =
   let rec go i = function

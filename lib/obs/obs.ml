@@ -1,0 +1,123 @@
+module Sink = Sink
+module Clock = Clock
+module Chrome_trace = Chrome_trace
+module Summary = Summary
+module Memory = Memory
+
+type open_span = {
+  id : int;
+  name : string;
+  start_ns : int64;
+  mutable rev_attrs : (string * Sink.attr) list;
+}
+
+let sinks : Sink.t list ref = ref []
+let enabled_flag = ref false
+let stack : open_span list ref = ref []
+let next_id = ref 1
+let counters_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 64
+let gauges_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+let enabled () = !enabled_flag
+
+let install sink =
+  sinks := !sinks @ [ sink ];
+  enabled_flag := true
+
+let reset_counters () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset gauges_tbl
+
+let clear () =
+  sinks := [];
+  enabled_flag := false;
+  stack := [];
+  next_id := 1;
+  reset_counters ()
+
+let begin_span name =
+  if not !enabled_flag then 0
+  else begin
+    let id = !next_id in
+    Stdlib.incr next_id;
+    let parent = match !stack with [] -> 0 | s :: _ -> s.id in
+    let ts_ns = Clock.now_ns () in
+    stack := { id; name; start_ns = ts_ns; rev_attrs = [] } :: !stack;
+    List.iter (fun (s : Sink.t) -> s.on_span_start ~id ~parent ~name ~ts_ns) !sinks;
+    id
+  end
+
+let close_one (s : open_span) =
+  let ts_ns = Clock.now_ns () in
+  let dur_ns = Int64.sub ts_ns s.start_ns in
+  List.iter
+    (fun (sink : Sink.t) ->
+      sink.on_span_end ~id:s.id ~name:s.name ~ts_ns ~dur_ns
+        ~attrs:(List.rev s.rev_attrs))
+    !sinks
+
+let end_span id =
+  if id <> 0 && List.exists (fun s -> s.id = id) !stack then begin
+    (* Close any spans opened after [id] first, so an exception that
+       skipped their end_span cannot corrupt the nesting. *)
+    let rec pop () =
+      match !stack with
+      | [] -> ()
+      | s :: rest ->
+        stack := rest;
+        close_one s;
+        if s.id <> id then pop ()
+    in
+    pop ()
+  end
+
+let span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let id = begin_span name in
+    Fun.protect ~finally:(fun () -> end_span id) f
+  end
+
+let set_attr name v =
+  match !stack with
+  | [] -> ()
+  | s :: _ -> s.rev_attrs <- (name, v) :: s.rev_attrs
+
+let attr_str name v = if !enabled_flag then set_attr name (Sink.Str v)
+let attr_int name v = if !enabled_flag then set_attr name (Sink.Int v)
+let attr_float name v = if !enabled_flag then set_attr name (Sink.Float v)
+let attr_bool name v = if !enabled_flag then set_attr name (Sink.Bool v)
+
+let add name delta =
+  if !enabled_flag then begin
+    let cell =
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c
+      | None ->
+        let c = ref 0.0 in
+        Hashtbl.add counters_tbl name c;
+        c
+    in
+    cell := !cell +. delta;
+    let total = !cell in
+    let ts_ns = Clock.now_ns () in
+    List.iter (fun (s : Sink.t) -> s.on_counter ~name ~delta ~total ~ts_ns) !sinks
+  end
+
+let incr name = add name 1.0
+
+let gauge name value =
+  if !enabled_flag then begin
+    (match Hashtbl.find_opt gauges_tbl name with
+    | Some c -> c := value
+    | None -> Hashtbl.add gauges_tbl name (ref value));
+    let ts_ns = Clock.now_ns () in
+    List.iter (fun (s : Sink.t) -> s.on_gauge ~name ~value ~ts_ns) !sinks
+  end
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with Some c -> !c | None -> 0.0
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, !c) :: acc) counters_tbl []
+  |> List.sort compare

@@ -1,0 +1,32 @@
+type attr =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type t = {
+  on_span_start : id:int -> parent:int -> name:string -> ts_ns:int64 -> unit;
+  on_span_end :
+    id:int ->
+    name:string ->
+    ts_ns:int64 ->
+    dur_ns:int64 ->
+    attrs:(string * attr) list ->
+    unit;
+  on_counter : name:string -> delta:float -> total:float -> ts_ns:int64 -> unit;
+  on_gauge : name:string -> value:float -> ts_ns:int64 -> unit;
+}
+
+let null =
+  {
+    on_span_start = (fun ~id:_ ~parent:_ ~name:_ ~ts_ns:_ -> ());
+    on_span_end = (fun ~id:_ ~name:_ ~ts_ns:_ ~dur_ns:_ ~attrs:_ -> ());
+    on_counter = (fun ~name:_ ~delta:_ ~total:_ ~ts_ns:_ -> ());
+    on_gauge = (fun ~name:_ ~value:_ ~ts_ns:_ -> ());
+  }
+
+let attr_to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b

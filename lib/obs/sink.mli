@@ -1,0 +1,39 @@
+(** The pluggable sink interface of the observability layer.
+
+    A sink is a record of callbacks; the collector ({!Obs}) invokes
+    them for every span boundary and every counter/gauge update while
+    at least one sink is installed.  Sinks never see anything when
+    none is installed — the disabled path is a single flag check. *)
+
+type attr =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+      (** Span attributes: small typed values attached to a span while
+          it is open and delivered with its end event. *)
+
+type t = {
+  on_span_start : id:int -> parent:int -> name:string -> ts_ns:int64 -> unit;
+      (** [parent = 0] means a root span. *)
+  on_span_end :
+    id:int ->
+    name:string ->
+    ts_ns:int64 ->
+    dur_ns:int64 ->
+    attrs:(string * attr) list ->
+    unit;
+      (** Attributes are delivered in the order they were set. *)
+  on_counter : name:string -> delta:float -> total:float -> ts_ns:int64 -> unit;
+      (** One accumulation step: the increment and the running total. *)
+  on_gauge : name:string -> value:float -> ts_ns:int64 -> unit;
+      (** A point-in-time level (last write wins). *)
+}
+
+val null : t
+(** Receives everything, records nothing.  Installing it exercises the
+    full instrumentation path with no output — the reference point for
+    the "observability is behaviorally inert" guarantee. *)
+
+val attr_to_string : attr -> string
+(** Human-readable rendering (no quoting). *)
