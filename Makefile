@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench repro examples figures docs clean
+.PHONY: all build test check bench bench-smoke bench-linalg repro examples figures docs clean
 
 all: build
 
@@ -10,16 +10,30 @@ build:
 test:
 	dune runtest
 
-# Single CI entry point: build, full test suite, and an observability
-# smoke run (per-stage timings + counters on one category).
+# Single CI entry point: build, full test suite, an observability
+# smoke run (per-stage timings + counters on one category), and the
+# linalg benchmark smoke test.
 check:
 	dune build
 	dune runtest
 	dune exec bin/analyze.exe -- -c cpu-flops --stats --show summary
+	$(MAKE) bench-smoke
 
 # Full reproduction: every table and figure, plus stage timings.
 bench:
 	dune exec bench/main.exe
+
+# Smallest-scale linalg scaling run; fails if BENCH_linalg.json is
+# missing fields or malformed.
+bench-smoke:
+	dune exec bench/linalg_scale.exe -- --smoke --out /tmp/BENCH_linalg_smoke.json
+	dune exec bench/linalg_scale.exe -- --check /tmp/BENCH_linalg_smoke.json
+
+# Full linalg scaling run (1k..8k columns) with the boxed-storage
+# baseline comparison; refreshes bench/BENCH_linalg.json.
+bench-linalg:
+	dune exec bench/linalg_scale.exe -- --out bench/BENCH_linalg.json \
+	  --baseline bench/BENCH_linalg_baseline.json
 
 # Machine-checked reproduction scorecard (non-zero exit on any failure).
 repro:

@@ -1,0 +1,400 @@
+(* Scaling benchmark for the dense linear-algebra core.
+
+   Runs the two kernels that dominate the pipeline at event-catalog
+   scale — column-pivoted QR (Algorithm 1 / the orthogonalization
+   engine behind the specialized pivoting) and least-squares
+   projection — on synthetic catalogs of 1k..10k event columns, and
+   emits a machine-readable [BENCH_linalg.json].
+
+   Timings come from the [lib/obs] span machinery (a Memory sink
+   records every span; wall time is the recorded span duration), so
+   this benchmark also exercises the tracing layer end to end.
+
+   Usage:
+     linalg_scale [--smoke] [--out FILE] [--baseline FILE] [--check FILE]
+
+   [--smoke] runs only the smallest scale with one repetition (the
+   [make bench-smoke] CI entry point).  [--baseline FILE] merges a
+   previously recorded run (e.g. the boxed-storage numbers captured
+   at the seed commit) into the output and reports speedups.
+   [--check FILE] parses FILE as JSON and exits non-zero if it is
+   malformed or missing the expected fields; it runs no benchmark. *)
+
+let storage_label = "flat-floatarray-row-major"
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic event catalogs                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An event column is a small integer combination of ideal concepts
+   (like the paper's raw events: each counts 1-3 concepts with small
+   multiplicities) plus a deterministic perturbation at the scale of
+   measurement noise.  This matches the structure the pivoting scheme
+   actually sees: near-integral entries, many nearly-parallel
+   columns. *)
+let catalog ~rows ~cols =
+  let rng = Numkit.Rng.of_string (Printf.sprintf "linalg-scale-%dx%d" rows cols) in
+  Linalg.Mat.init rows cols (fun _i _j ->
+      let base = float_of_int (Numkit.Rng.int rng 4) in
+      let jitter =
+        if Numkit.Rng.int rng 8 = 0 then Numkit.Rng.uniform rng ~lo:(-1e-4) ~hi:1e-4
+        else 0.0
+      in
+      base +. jitter)
+
+let rhs rows =
+  let rng = Numkit.Rng.of_string (Printf.sprintf "linalg-scale-rhs-%d" rows) in
+  Linalg.Vec.init rows (fun _ -> Numkit.Rng.uniform rng ~lo:0.0 ~hi:4.0)
+
+(* ------------------------------------------------------------------ *)
+(* Timing through Obs spans                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mem = Obs.Memory.create ()
+
+let time_span name f =
+  let before = List.length (Obs.Memory.span_ends ~name mem) in
+  let result = Obs.span name f in
+  let ends = Obs.Memory.span_ends ~name mem in
+  let fresh = List.nth ends before in
+  let dur_ns =
+    match fresh with
+    | Obs.Memory.Span_end { dur_ns; _ } -> dur_ns
+    | _ -> assert false
+  in
+  (result, Int64.to_float dur_ns /. 1e6)
+
+(* Best-of-[reps] wall time in milliseconds. *)
+let best name reps f =
+  let bestt = ref infinity in
+  for _ = 1 to reps do
+    let _, ms = time_span name f in
+    if ms < !bestt then bestt := ms
+  done;
+  !bestt
+
+type scale_result = {
+  rows : int;
+  cols : int;
+  reps : int;
+  qrcp_ms : float;
+  lstsq_ms : float;
+  qrcp_rank : int;
+}
+
+let run_scale ~reps ~rows ~cols =
+  let a = catalog ~rows ~cols in
+  let b = rhs rows in
+  Obs.incr "linalg_scale.scales";
+  let qrcp_ms =
+    best (Printf.sprintf "qrcp-%dx%d" rows cols) reps (fun () ->
+        ignore (Linalg.Qrcp.factor a))
+  in
+  let rank = (Linalg.Qrcp.factor a).Linalg.Qrcp.rank in
+  (* Least squares over the first [rows] independent-ish columns:
+     the projection step's shape (tall-thin m x dim solve). *)
+  let idx = Array.init (min rows cols) (fun i -> i * (cols / min rows cols)) in
+  let sub = Linalg.Mat.select_cols a idx in
+  let lstsq_ms =
+    best (Printf.sprintf "lstsq-%dx%d" rows cols) reps (fun () ->
+        ignore (Linalg.Lstsq.solve_rank_aware sub b))
+  in
+  { rows; cols; reps; qrcp_ms; lstsq_ms; qrcp_rank = rank }
+
+(* ------------------------------------------------------------------ *)
+(* JSON out                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_result r =
+  Core.Json.Obj
+    [
+      ("rows", Core.Json.Num (float_of_int r.rows));
+      ("cols", Core.Json.Num (float_of_int r.cols));
+      ("reps", Core.Json.Num (float_of_int r.reps));
+      ("qrcp_ms", Core.Json.Num r.qrcp_ms);
+      ("lstsq_ms", Core.Json.Num r.lstsq_ms);
+      ("qrcp_rank", Core.Json.Num (float_of_int r.qrcp_rank));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (validation for --check / --baseline)           *)
+(* ------------------------------------------------------------------ *)
+
+module Parse = struct
+  exception Malformed of string
+
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of v list
+    | Obj of (string * v) list
+
+  let parse (s : string) : v =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let string_body () =
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance (); Buffer.contents buf
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+           | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+             Buffer.add_char buf c; advance ()
+           | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+           | Some 't' -> Buffer.add_char buf '\t'; advance ()
+           | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+           | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+           | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+           | Some 'u' ->
+             advance ();
+             if !pos + 4 > n then fail "bad unicode escape";
+             (try ignore (int_of_string ("0x" ^ String.sub s !pos 4))
+              with _ -> fail "bad unicode escape");
+             (* Keep the raw escape; validation only. *)
+             Buffer.add_string buf (String.sub s !pos 4);
+             pos := !pos + 4
+           | _ -> fail "bad escape");
+          go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            expect '"';
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+      | Some '"' -> advance (); Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member name = function
+    | Obj fields -> List.assoc_opt name fields
+    | _ -> None
+end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Structural validation of a BENCH_linalg.json document: an object
+   with a [storage] string and a [scales] array of objects each
+   carrying numeric rows/cols/qrcp_ms/lstsq_ms. *)
+let validate path =
+  let doc =
+    try Parse.parse (read_file path)
+    with
+    | Parse.Malformed msg -> failwith (path ^ ": malformed JSON: " ^ msg)
+    | Sys_error msg -> failwith msg
+  in
+  (match Parse.member "storage" doc with
+   | Some (Parse.Str _) -> ()
+   | _ -> failwith (path ^ ": missing or non-string \"storage\""));
+  match Parse.member "scales" doc with
+  | Some (Parse.List (_ :: _ as scales)) ->
+    List.iteri
+      (fun i s ->
+        List.iter
+          (fun field ->
+            match Parse.member field s with
+            | Some (Parse.Num v) when Float.is_finite v -> ()
+            | _ ->
+              failwith
+                (Printf.sprintf "%s: scales[%d]: missing or non-numeric %S"
+                   path i field))
+          [ "rows"; "cols"; "qrcp_ms"; "lstsq_ms" ])
+      scales
+  | _ -> failwith (path ^ ": missing or empty \"scales\" array")
+
+let baseline_qrcp_ms doc ~rows ~cols =
+  match Parse.member "scales" doc with
+  | Some (Parse.List scales) ->
+    List.find_map
+      (fun s ->
+        match
+          (Parse.member "rows" s, Parse.member "cols" s, Parse.member "qrcp_ms" s)
+        with
+        | Some (Parse.Num r), Some (Parse.Num c), Some (Parse.Num q)
+          when int_of_float r = rows && int_of_float c = cols ->
+          Some q
+        | _ -> None)
+      scales
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scales_full = [ (48, 1024); (48, 2048); (48, 4096); (48, 8192) ]
+let scales_smoke = [ (48, 256) ]
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_linalg.json" in
+  let baseline = ref "" in
+  let check = ref "" in
+  let spec =
+    [
+      ("--smoke", Arg.Set smoke, "smallest scale, one repetition (CI smoke)");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_linalg.json)");
+      ("--baseline", Arg.Set_string baseline, "FILE merge a recorded baseline run");
+      ("--check", Arg.Set_string check, "FILE validate FILE as BENCH_linalg JSON and exit");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "linalg_scale [--smoke] [--out FILE] [--baseline FILE] [--check FILE]";
+  if !check <> "" then begin
+    (try validate !check
+     with Failure msg ->
+       prerr_endline ("linalg_scale --check: " ^ msg);
+       exit 1);
+    Printf.printf "%s: well-formed BENCH_linalg document\n" !check;
+    exit 0
+  end;
+  Obs.install (Obs.Memory.sink mem);
+  let scales = if !smoke then scales_smoke else scales_full in
+  let reps = if !smoke then 1 else 5 in
+  let results =
+    List.map
+      (fun (rows, cols) ->
+        let r = run_scale ~reps ~rows ~cols in
+        Printf.printf "%dx%-6d qrcp %8.2f ms   lstsq %8.3f ms   (rank %d, best of %d)\n%!"
+          r.rows r.cols r.qrcp_ms r.lstsq_ms r.qrcp_rank r.reps;
+        r)
+      scales
+  in
+  let base_doc =
+    if !baseline = "" then None
+    else begin
+      validate !baseline;
+      Some (Parse.parse (read_file !baseline))
+    end
+  in
+  let speedups =
+    match base_doc with
+    | None -> []
+    | Some doc ->
+      List.filter_map
+        (fun r ->
+          match baseline_qrcp_ms doc ~rows:r.rows ~cols:r.cols with
+          | Some base when r.qrcp_ms > 0.0 ->
+            let s = base /. r.qrcp_ms in
+            Printf.printf "%dx%-6d qrcp speedup vs baseline: %.2fx\n%!" r.rows r.cols s;
+            Some
+              (Core.Json.Obj
+                 [
+                   ("rows", Core.Json.Num (float_of_int r.rows));
+                   ("cols", Core.Json.Num (float_of_int r.cols));
+                   ("baseline_qrcp_ms", Core.Json.Num base);
+                   ("qrcp_ms", Core.Json.Num r.qrcp_ms);
+                   ("qrcp_speedup", Core.Json.Num s);
+                 ])
+          | _ -> None)
+        results
+  in
+  let doc =
+    Core.Json.Obj
+      ([
+         ("storage", Core.Json.Str storage_label);
+         ("smoke", Core.Json.Bool !smoke);
+         ("spans_recorded",
+          Core.Json.Num (float_of_int (List.length (Obs.Memory.span_ends mem))));
+         ("scales", Core.Json.List (List.map json_of_result results));
+       ]
+      @ if speedups = [] then [] else [ ("qrcp_speedup_vs_baseline", Core.Json.List speedups) ])
+  in
+  let oc = open_out !out in
+  output_string oc (Core.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  (* The file must round-trip through the validator: emitting a
+     malformed document is a bench bug and should fail CI. *)
+  validate !out;
+  Printf.printf "wrote %s\n" !out

@@ -58,4 +58,4 @@ let () =
     "\nPacked DP Ops. signature over the first six benchmark rows: %s\n"
     (String.concat ", "
        (List.map (Printf.sprintf "%g")
-          (Array.to_list (Array.sub expected 0 6))))
+          (Array.to_list (Array.sub (Linalg.Vec.to_array expected) 0 6))))

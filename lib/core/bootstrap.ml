@@ -36,7 +36,7 @@ let solve_once (result : Pipeline.result) (d : Cat_bench.Dataset.t) =
     Array.map
       (fun name ->
         let m = Cat_bench.Dataset.find d name in
-        Numkit.Stats.elementwise_mean m.Cat_bench.Dataset.reps)
+        Linalg.Vec.of_array (Numkit.Stats.elementwise_mean m.Cat_bench.Dataset.reps))
       result.Pipeline.chosen_names
   in
   let columns =
@@ -44,7 +44,7 @@ let solve_once (result : Pipeline.result) (d : Cat_bench.Dataset.t) =
       (fun mean -> fst (Projection.project_one basis ~mean))
       chosen_means
   in
-  let xhat = Linalg.Mat.of_cols columns in
+  let xhat = Linalg.Mat.of_col_vecs columns in
   List.map
     (fun (s : Signature.t) ->
       Metric_solver.define ~xhat ~names:result.Pipeline.chosen_names

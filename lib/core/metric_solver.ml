@@ -23,7 +23,7 @@ let define ~xhat ~names ~signature ~metric =
     let solution, error = Linalg.Lstsq.solve_with_error xhat signature in
     let combination =
       Array.to_list
-        (Array.mapi (fun j name -> (solution.Linalg.Lstsq.x.(j), name)) names)
+        (Array.mapi (fun j name -> (Linalg.Vec.get solution.Linalg.Lstsq.x j, name)) names)
     in
     {
       metric;

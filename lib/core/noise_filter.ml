@@ -5,7 +5,7 @@ type measure = Max_rnmse | Mean_rnmse | Max_relative_range
 type classified = {
   event : Hwsim.Event.t;
   variability : float;
-  mean : float array;
+  mean : Linalg.Vec.t;
   status : status;
 }
 
@@ -24,7 +24,7 @@ let classify ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
   let classified =
     List.map
       (fun (m : Cat_bench.Dataset.measurement) ->
-        let mean = Numkit.Stats.elementwise_mean m.reps in
+        let mean = Linalg.Vec.of_array (Numkit.Stats.elementwise_mean m.reps) in
         let every_rep_zero = List.for_all Numkit.Stats.all_zero m.reps in
         if every_rep_zero then
           (* Footnote 1: an event that never fires is irrelevant. *)

@@ -18,7 +18,7 @@ type measure =
 type classified = {
   event : Hwsim.Event.t;
   variability : float;  (** value of the chosen measure. *)
-  mean : float array;  (** elementwise mean of the repetition vectors. *)
+  mean : Linalg.Vec.t;  (** elementwise mean of the repetition vectors. *)
   status : status;
 }
 

@@ -1,6 +1,6 @@
 type projected = {
   event : Hwsim.Event.t;
-  representation : float array;
+  representation : Linalg.Vec.t;
   relative_residual : float;
   accepted : bool;
 }
@@ -75,4 +75,4 @@ let to_matrix projected =
   if acc = [] then invalid_arg "Projection.to_matrix: no accepted events";
   let cols = Array.of_list (List.map (fun p -> p.representation) acc) in
   let names = Array.of_list (List.map (fun p -> p.event.Hwsim.Event.name) acc) in
-  (Linalg.Mat.of_cols cols, names)
+  (Linalg.Mat.of_col_vecs cols, names)

@@ -11,13 +11,13 @@
 
 type projected = {
   event : Hwsim.Event.t;
-  representation : float array;  (** x_e, in expectation coordinates. *)
+  representation : Linalg.Vec.t;  (** x_e, in expectation coordinates. *)
   relative_residual : float;  (** [||E x - m|| / ||m||]. *)
   accepted : bool;
 }
 
 val project_one :
-  Expectation.t -> mean:float array -> float array * float
+  Expectation.t -> mean:Linalg.Vec.t -> Linalg.Vec.t * float
 (** [(x_e, relative_residual)] for one mean measurement vector.
     Falls back to a rank-aware basic solution when the basis is
     degenerate (see {!Expectation.diagnostics}). *)

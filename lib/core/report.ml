@@ -8,7 +8,7 @@ let signature_table category =
     (String.concat "," (Array.to_list labels));
   List.iter
     (fun (s : Signature.t) ->
-      let v = Signature.to_vector s basis in
+      let v = Linalg.Vec.to_array (Signature.to_vector s basis) in
       bprintf buf "  %-35s (%s)\n" s.metric
         (String.concat ","
            (Array.to_list (Array.map (fun x -> Printf.sprintf "%g" x) v))))
@@ -133,7 +133,8 @@ let mean_lookup (r : Pipeline.result) =
   let table = Hashtbl.create 64 in
   List.iter
     (fun (c : Noise_filter.classified) ->
-      Hashtbl.replace table c.event.Hwsim.Event.name c.mean)
+      Hashtbl.replace table c.event.Hwsim.Event.name
+        (Linalg.Vec.to_array c.mean))
     r.classified;
   fun name ->
     match Hashtbl.find_opt table name with
@@ -163,7 +164,7 @@ let fig3_panels (r : Pipeline.result) =
       in
       let signature =
         Array.map (fun v -> v *. per_access)
-          (Expectation.in_kernel_space basis sig_coords)
+          (Linalg.Vec.to_array (Expectation.in_kernel_space basis sig_coords))
       in
       let max_deviation =
         Array.fold_left Float.max 0.0

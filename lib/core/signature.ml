@@ -29,9 +29,9 @@ let sum name sigs =
   }
 
 let to_vector t basis =
-  let v = Array.make (Expectation.dim basis) 0.0 in
+  let v = Linalg.Vec.create (Expectation.dim basis) in
   List.iter
-    (fun (label, c) -> v.(Expectation.label_index basis label) <- c)
+    (fun (label, c) -> Linalg.Vec.set v (Expectation.label_index basis label) c)
     t.coords;
   v
 

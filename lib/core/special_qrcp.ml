@@ -13,17 +13,11 @@ let score_value v =
   if v = 0.0 then 0.0 else if v >= 1.0 then v else 1.0 /. v
 
 let column_score ~alpha col =
-  Array.fold_left (fun acc u -> acc +. score_value (round_value ~alpha u)) 0.0 col
+  Linalg.Vec.fold_left
+    (fun acc u -> acc +. score_value (round_value ~alpha u))
+    0.0 col
 
 let beta ~alpha ~rows = alpha *. sqrt (float_of_int rows)
-
-let trailing_norm a ~from j =
-  let s = ref 0.0 in
-  for i = from to Linalg.Mat.rows a - 1 do
-    let v = Linalg.Mat.get a i j in
-    s := !s +. (v *. v)
-  done;
-  sqrt !s
 
 type step = {
   pick : int;
@@ -58,9 +52,13 @@ let candidate_order a b =
 
 let get_pivot a ~perm ~scores0 ~from ~beta_threshold =
   let n = Linalg.Mat.cols a in
+  (* One row-major pass over the trailing panel computes every
+     candidate norm at once (identical accumulation order to a
+     per-column walk). *)
+  let norms = Linalg.Mat.trailing_col_norms a ~row0:from ~col0:from in
   let candidates = ref [] in
   for j = from to n - 1 do
-    let norm = trailing_norm a ~from j in
+    let norm = norms.(j - from) in
     if norm >= beta_threshold then
       candidates :=
         { c_j = j; c_orig = perm.(j); c_score = scores0.(perm.(j)); c_norm = norm }
@@ -103,9 +101,11 @@ let factor_traced ~alpha x =
          perm.(i) <- perm.(pivot);
          perm.(pivot) <- tmp;
          scores.(i) <- step.score;
-         (* Orthogonalize the trailing block against the pivot. *)
-         let coli = Array.init (m - i) (fun k -> Linalg.Mat.get a (i + k) i) in
-         let h, beta_r = Linalg.Householder.of_column coli in
+         (* Orthogonalize the trailing block against the pivot; the
+            pivot column is read through a no-copy view. *)
+         let h, beta_r =
+           Linalg.Householder.of_view (Linalg.Mat.col_view ~row0:i a i)
+         in
          Linalg.Mat.set a i i beta_r;
          for r = i + 1 to m - 1 do
            Linalg.Mat.set a r i 0.0

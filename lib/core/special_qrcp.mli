@@ -52,7 +52,7 @@ val round_value : alpha:float -> float -> float
 val score_value : float -> float
 (** The per-entry score Sc (applied to absolute values). *)
 
-val column_score : alpha:float -> float array -> float
+val column_score : alpha:float -> Linalg.Vec.t -> float
 (** Rounds then sums entry scores. *)
 
 val beta : alpha:float -> rows:int -> float

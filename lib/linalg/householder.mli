@@ -1,18 +1,31 @@
 (** Householder reflectors.
 
-    A reflector is H = I - tau * v * v^T with v(0) = 1 implied by the
-    compact storage convention; here we store v explicitly for
-    clarity since our matrices are small. *)
+    A reflector is H = I - tau * v * v^T with v(0) = 1 by the compact
+    storage convention; [v] is stored as a {!Vec.t} on flat unboxed
+    storage.  Reflectors are built directly from no-copy column views
+    ({!of_view}) and applied to whole trailing panels in one
+    row-major pass ({!apply_to_cols}), so a factorization step never
+    copies columns in or out. *)
 
 type reflector = { v : Vec.t; tau : float }
 (** [v] has the length of the (sub)column it annihilates; [tau = 0.]
     encodes the identity (nothing to annihilate). *)
 
-val of_column : Vec.t -> reflector * float
-(** [of_column x] builds the reflector that maps [x] to
+val of_view : Kernel.view -> reflector * float
+(** [of_view x] builds the reflector that maps the viewed column to
     [(beta, 0, ..., 0)] and returns [(h, beta)].  The sign of [beta]
-    is chosen opposite to [x.(0)] for numerical stability.  For a zero
-    column the identity reflector and [beta = 0.] are returned. *)
+    is chosen opposite to the leading entry for numerical stability.
+    For a zero column the identity reflector and [beta = 0.] are
+    returned.  The view is read-only here — construction does not
+    modify the storage it aliases. *)
+
+val of_column : Vec.t -> reflector * float
+(** {!of_view} on the whole vector. *)
+
+val apply_to_view : reflector -> Kernel.view -> unit
+(** In-place application [x <- H x] through an aliasing view (used to
+    apply a reflector to the tail of a longer vector without slicing
+    out a copy). *)
 
 val apply_to_vec : reflector -> Vec.t -> unit
 (** In-place application [x <- H x]. *)
@@ -20,4 +33,5 @@ val apply_to_vec : reflector -> Vec.t -> unit
 val apply_to_cols : reflector -> Mat.t -> row0:int -> col0:int -> unit
 (** Applies the reflector to the trailing submatrix
     [a.(row0 .. row0+len-1, col0 ..)] in place, where [len] is the
-    reflector length. *)
+    reflector length; implemented as {!Kernel.reflect_panel}, two
+    streaming row-major passes over the panel. *)

@@ -2,7 +2,7 @@ type solution = { x : Vec.t; residual_norm : float; relative_residual : float }
 
 let solve a b =
   let m = Mat.rows a and n = Mat.cols a in
-  if Array.length b <> m then invalid_arg "Lstsq.solve: dimension mismatch";
+  if Vec.dim b <> m then invalid_arg "Lstsq.solve: dimension mismatch";
   if m < n then invalid_arg "Lstsq.solve: underdetermined system";
   let f = Qr.factor a in
   let qtb = Qr.apply_qt f b in
@@ -15,10 +15,10 @@ let solve a b =
 
 let solve_rank_aware ?(tol = 1e-10) a b =
   let m = Mat.rows a and n = Mat.cols a in
-  if Array.length b <> m then invalid_arg "Lstsq.solve_rank_aware: dimension mismatch";
+  if Vec.dim b <> m then invalid_arg "Lstsq.solve_rank_aware: dimension mismatch";
   let { Qrcp.perm; rank; _ } = Qrcp.factor ~tol a in
   if rank = 0 then
-    ({ x = Array.make n 0.0;
+    ({ x = Vec.create n;
        residual_norm = Vec.norm2 b;
        relative_residual = (if Vec.norm2 b = 0.0 then 0.0 else 1.0) },
      0)
@@ -26,8 +26,8 @@ let solve_rank_aware ?(tol = 1e-10) a b =
     let pivots = Array.sub perm 0 rank in
     let sub = Mat.select_cols a pivots in
     let s = solve sub b in
-    let x = Array.make n 0.0 in
-    Array.iteri (fun k j -> x.(j) <- s.x.(k)) pivots;
+    let x = Vec.create n in
+    Array.iteri (fun k j -> Vec.set x j (Vec.get s.x k)) pivots;
     ( { x; residual_norm = s.residual_norm; relative_residual = s.relative_residual },
       rank )
   end

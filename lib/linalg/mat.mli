@@ -1,9 +1,18 @@
-(** Dense, row-major matrices of floats.
+(** Dense, row-major matrices of floats on flat unboxed storage.
 
-    Sized for the paper's workloads: measurement matrices are at most
-    a few thousand columns by a few dozen rows, so a simple boxed
-    [float array array] representation with straightforward loops is
-    adequate and keeps the factorization code easy to audit. *)
+    A matrix is a single contiguous [floatarray] in row-major order
+    with an explicit row stride (element [(i, j)] lives at
+    [i * row_stride + j]; all constructors build dense matrices with
+    [row_stride = cols]).  Event catalogs put the pipeline's hot
+    kernels — trailing column norms and Householder panel updates
+    over matrices with thousands of columns — on this storage via
+    {!Kernel}'s row-major panel primitives and the no-copy
+    {!col_view}/{!row_view} accessors, so the factorizations stream
+    memory instead of chasing per-row pointers.
+
+    The representation is abstract; interchange with ordinary OCaml
+    data goes through {!of_rows}/{!of_cols}/{!to_rows}, and {!raw} /
+    {!row_stride} are the documented escape hatch for kernel code. *)
 
 type t
 
@@ -17,14 +26,36 @@ val of_rows : float array array -> t
 (** Rows are copied; all rows must have equal length. *)
 
 val of_cols : float array array -> t
-(** Builds the matrix whose [j]-th column is the [j]-th input. *)
+(** Builds the matrix whose [j]-th column is the [j]-th input, with a
+    single transposing copy pass.  All columns must have equal
+    length. *)
+
+val of_col_vecs : Vec.t array -> t
+(** As {!of_cols}, from vectors. *)
 
 val identity : int -> t
 
 val rows : t -> int
 val cols : t -> int
+
+val row_stride : t -> int
+(** Distance in the flat storage between vertically adjacent
+    elements; equals [cols t] for every matrix built by this
+    module. *)
+
+val raw : t -> floatarray
+(** The backing storage itself — an {e aliasing} escape hatch for
+    kernels that need raw panel access (see {!Kernel}).  Indexing is
+    [(i * row_stride t) + j]; writes are visible in the matrix. *)
+
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
+
+val unsafe_get : t -> int -> int -> float
+(** No bounds check; for kernel inner loops only. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+
 val copy : t -> t
 
 val col : t -> int -> Vec.t
@@ -32,6 +63,15 @@ val col : t -> int -> Vec.t
 
 val row : t -> int -> Vec.t
 (** Fresh copy of a row. *)
+
+val col_view : ?row0:int -> t -> int -> Kernel.view
+(** [col_view ~row0 a j] is the aliasing view of rows [row0..] of
+    column [j] — no copy; writes through the view write the matrix.
+    [row0] defaults to [0]. *)
+
+val row_view : ?col0:int -> t -> int -> Kernel.view
+(** [row_view ~col0 a i] is the aliasing (unit-stride) view of
+    columns [col0..] of row [i].  [col0] defaults to [0]. *)
 
 val set_col : t -> int -> Vec.t -> unit
 val swap_cols : t -> int -> int -> unit
@@ -58,6 +98,13 @@ val norm2 : ?iters:int -> t -> float
 
 val col_norm : t -> int -> float
 (** Euclidean norm of a column without copying it. *)
+
+val trailing_col_norms : t -> row0:int -> col0:int -> float array
+(** [trailing_col_norms a ~row0 ~col0] is the array of Euclidean
+    norms of columns [col0..], each over rows [row0..] — the
+    pivot-selection quantity of the column-pivoted factorizations,
+    computed in one row-major pass over the trailing panel.  Entry
+    [k] corresponds to column [col0 + k]. *)
 
 val select_cols : t -> int array -> t
 (** [select_cols a idx] is the submatrix of the listed columns in the

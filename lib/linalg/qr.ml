@@ -12,9 +12,9 @@ let factor a0 =
   let steps = min m n in
   let reflectors =
     Array.init steps (fun k ->
-        let colk = Array.init (m - k) (fun i -> Mat.get a (k + i) k) in
-        let h, beta = Householder.of_column colk in
-        (* Write the annihilated column back. *)
+        (* The trailing column is read through a no-copy view; the
+           reflector then annihilates it in place. *)
+        let h, beta = Householder.of_view (Mat.col_view ~row0:k a k) in
         Mat.set a k k beta;
         for i = k + 1 to m - 1 do
           Mat.set a i k 0.0
@@ -31,52 +31,48 @@ let factor a0 =
 let r t = t.rmat
 
 let apply_qt t b =
-  if Array.length b <> t.m then invalid_arg "Qr.apply_qt: dimension mismatch";
+  if Vec.dim b <> t.m then invalid_arg "Qr.apply_qt: dimension mismatch";
   let x = Vec.copy b in
+  let xr = Vec.raw x in
   Array.iteri
     (fun k h ->
-      if h.Householder.tau <> 0.0 then begin
-        let seg = Array.sub x k (t.m - k) in
-        Householder.apply_to_vec h seg;
-        Array.blit seg 0 x k (t.m - k)
-      end)
+      if h.Householder.tau <> 0.0 then
+        Householder.apply_to_view h (Kernel.view xr ~off:k ~inc:1 ~len:(t.m - k)))
     t.reflectors;
   x
 
 let apply_q t b =
   (* Q = H_0 H_1 ... H_{k-1}; apply in reverse for Q b. *)
-  if Array.length b <> t.m then invalid_arg "Qr.apply_q: dimension mismatch";
+  if Vec.dim b <> t.m then invalid_arg "Qr.apply_q: dimension mismatch";
   let x = Vec.copy b in
+  let xr = Vec.raw x in
   for k = Array.length t.reflectors - 1 downto 0 do
     let h = t.reflectors.(k) in
-    if h.Householder.tau <> 0.0 then begin
-      let seg = Array.sub x k (t.m - k) in
-      Householder.apply_to_vec h seg;
-      Array.blit seg 0 x k (t.m - k)
-    end
+    if h.Householder.tau <> 0.0 then
+      Householder.apply_to_view h (Kernel.view xr ~off:k ~inc:1 ~len:(t.m - k))
   done;
   x
 
 let q_explicit t =
   let q = Mat.create t.m t.n in
   for j = 0 to t.n - 1 do
-    let e = Array.init t.m (fun i -> if i = j then 1.0 else 0.0) in
+    let e = Vec.init t.m (fun i -> if i = j then 1.0 else 0.0) in
     Mat.set_col q j (apply_q t e)
   done;
   q
 
 let solve_r t c =
   let n = min t.m t.n in
-  if Array.length c < n then invalid_arg "Qr.solve_r: rhs too short";
-  let x = Array.make t.n 0.0 in
+  if Vec.dim c < n then invalid_arg "Qr.solve_r: rhs too short";
+  let x = Vec.create t.n in
   for i = n - 1 downto 0 do
-    let s = ref c.(i) in
+    let s = ref (Vec.get c i) in
     for j = i + 1 to t.n - 1 do
-      s := !s -. (Mat.get t.rmat i j *. x.(j))
+      s := !s -. (Mat.get t.rmat i j *. Vec.unsafe_get x j)
     done;
     let d = Mat.get t.rmat i i in
     if Float.abs d < 1e-300 then failwith "Qr.solve_r: singular";
-    x.(i) <- !s /. d
+    Vec.set x i (!s /. d)
   done;
   x
 

@@ -1,13 +1,5 @@
 type result = { perm : int array; rank : int; rdiag : float array }
 
-let trailing_norm a ~from j =
-  let s = ref 0.0 in
-  for i = from to Mat.rows a - 1 do
-    let x = Mat.get a i j in
-    s := !s +. (x *. x)
-  done;
-  sqrt !s
-
 let factor ?(tol = 1e-10) a0 =
   let m = Mat.rows a0 and n = Mat.cols a0 in
   if m = 0 || n = 0 then invalid_arg "Qrcp.factor: empty matrix";
@@ -19,12 +11,14 @@ let factor ?(tol = 1e-10) a0 =
   let first_pivot = ref 0.0 in
   (try
      for i = 0 to steps - 1 do
-       (* Trailing column norms are recomputed from scratch: the
-          matrices here are tiny, and recomputation avoids the
-          classical downdating cancellation problem. *)
-       let pivot = ref i and best = ref (trailing_norm a ~from:i i) in
+       (* Trailing column norms are recomputed from scratch each step:
+          recomputation avoids the classical downdating cancellation
+          problem, and the row-major panel pass makes it a single
+          stream over the trailing storage. *)
+       let norms = Mat.trailing_col_norms a ~row0:i ~col0:i in
+       let pivot = ref i and best = ref norms.(0) in
        for j = i + 1 to n - 1 do
-         let nj = trailing_norm a ~from:i j in
+         let nj = norms.(j - i) in
          if nj > !best then begin
            best := nj;
            pivot := j
@@ -36,8 +30,7 @@ let factor ?(tol = 1e-10) a0 =
        let tmp = perm.(i) in
        perm.(i) <- perm.(!pivot);
        perm.(!pivot) <- tmp;
-       let colk = Array.init (m - i) (fun k -> Mat.get a (i + k) i) in
-       let h, beta = Householder.of_column colk in
+       let h, beta = Householder.of_view (Mat.col_view ~row0:i a i) in
        Mat.set a i i beta;
        for k = i + 1 to m - 1 do
          Mat.set a k i 0.0

@@ -9,7 +9,7 @@ let off_diagonal_norm a =
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       if i <> j then begin
-        let x = Mat.get a i j in
+        let x = Mat.unsafe_get a i j in
         s := !s +. (x *. x)
       end
     done
@@ -22,7 +22,7 @@ let check_symmetric a =
   let scale = Float.max 1.0 (Mat.frobenius a) in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      if Float.abs (Mat.get a i j -. Mat.get a j i) > 1e-8 *. scale then
+      if Float.abs (Mat.unsafe_get a i j -. Mat.unsafe_get a j i) > 1e-8 *. scale then
         invalid_arg "Symeig.jacobi: not symmetric"
     done
   done
@@ -30,9 +30,9 @@ let check_symmetric a =
 (* One Jacobi rotation zeroing a(p,q): classical formulas with the
    numerically stable choice of t (Golub & Van Loan, 8.4). *)
 let rotate a v p q =
-  let apq = Mat.get a p q in
+  let apq = Mat.unsafe_get a p q in
   if apq <> 0.0 then begin
-    let app = Mat.get a p p and aqq = Mat.get a q q in
+    let app = Mat.unsafe_get a p p and aqq = Mat.unsafe_get a q q in
     let theta = (aqq -. app) /. (2.0 *. apq) in
     let t =
       let s = if theta >= 0.0 then 1.0 else -1.0 in
@@ -43,20 +43,20 @@ let rotate a v p q =
     let n = Mat.rows a in
     (* Update A = J^T A J. *)
     for k = 0 to n - 1 do
-      let akp = Mat.get a k p and akq = Mat.get a k q in
-      Mat.set a k p ((c *. akp) -. (s *. akq));
-      Mat.set a k q ((s *. akp) +. (c *. akq))
+      let akp = Mat.unsafe_get a k p and akq = Mat.unsafe_get a k q in
+      Mat.unsafe_set a k p ((c *. akp) -. (s *. akq));
+      Mat.unsafe_set a k q ((s *. akp) +. (c *. akq))
     done;
     for k = 0 to n - 1 do
-      let apk = Mat.get a p k and aqk = Mat.get a q k in
-      Mat.set a p k ((c *. apk) -. (s *. aqk));
-      Mat.set a q k ((s *. apk) +. (c *. aqk))
+      let apk = Mat.unsafe_get a p k and aqk = Mat.unsafe_get a q k in
+      Mat.unsafe_set a p k ((c *. apk) -. (s *. aqk));
+      Mat.unsafe_set a q k ((s *. apk) +. (c *. aqk))
     done;
     (* Accumulate V = V J. *)
     for k = 0 to n - 1 do
-      let vkp = Mat.get v k p and vkq = Mat.get v k q in
-      Mat.set v k p ((c *. vkp) -. (s *. vkq));
-      Mat.set v k q ((s *. vkp) +. (c *. vkq))
+      let vkp = Mat.unsafe_get v k p and vkq = Mat.unsafe_get v k q in
+      Mat.unsafe_set v k p ((c *. vkp) -. (s *. vkq));
+      Mat.unsafe_set v k q ((s *. vkp) +. (c *. vkq))
     done
   end
 

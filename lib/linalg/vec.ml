@@ -1,75 +1,74 @@
-type t = float array
+type t = floatarray
 
-let create n = Array.make n 0.0
-let init = Array.init
-let copy = Array.copy
-let of_list = Array.of_list
-let dim = Array.length
-let fill v x = Array.fill v 0 (Array.length v) x
+let create n = Float.Array.make n 0.0
+let init = Float.Array.init
+let copy = Float.Array.copy
+let of_list = Float.Array.of_list
+let dim = Float.Array.length
+let fill v x = Float.Array.fill v 0 (Float.Array.length v) x
+
+let of_array a = Float.Array.init (Array.length a) (Array.unsafe_get a)
+let to_array v = Array.init (Float.Array.length v) (Float.Array.unsafe_get v)
+
+let get = Float.Array.get
+let set = Float.Array.set
+let unsafe_get = Float.Array.unsafe_get
+let unsafe_set = Float.Array.unsafe_set
+
+let raw v = v
+let of_raw v = v
+let view v = Kernel.full v
+let slice = Float.Array.sub
 
 let check_same_dim name x y =
-  if Array.length x <> Array.length y then invalid_arg (name ^ ": dimension mismatch")
+  if Float.Array.length x <> Float.Array.length y then
+    invalid_arg (name ^ ": dimension mismatch")
 
 let dot x y =
   check_same_dim "Vec.dot" x y;
-  let s = ref 0.0 in
-  for i = 0 to Array.length x - 1 do
-    s := !s +. (x.(i) *. y.(i))
-  done;
-  !s
+  Kernel.dot (Kernel.full x) (Kernel.full y)
 
-let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
-let norm1 x = Array.fold_left (fun acc v -> acc +. Float.abs v) 0.0 x
+let norm_inf x = Kernel.amax (Kernel.full x)
+let norm1 x = Kernel.asum (Kernel.full x)
+let norm2 x = Kernel.nrm2 (Kernel.full x)
 
-let norm2 x =
-  (* Scaled two-pass norm: avoids overflow for large counts such as
-     cycle measurements in the raw matrices. *)
-  let scale = norm_inf x in
-  if scale = 0.0 then 0.0
-  else begin
-    let s = ref 0.0 in
-    for i = 0 to Array.length x - 1 do
-      let r = x.(i) /. scale in
-      s := !s +. (r *. r)
-    done;
-    scale *. sqrt !s
-  end
-
-let scale alpha x = Array.map (fun v -> alpha *. v) x
-
-let scale_inplace alpha x =
-  for i = 0 to Array.length x - 1 do
-    x.(i) <- alpha *. x.(i)
-  done
+let scale alpha x = Float.Array.map (fun v -> alpha *. v) x
+let scale_inplace alpha x = Kernel.scal alpha (Kernel.full x)
 
 let map2 f x y =
   check_same_dim "Vec.map2" x y;
-  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+  Float.Array.init (Float.Array.length x) (fun i ->
+      f (Float.Array.unsafe_get x i) (Float.Array.unsafe_get y i))
 
 let add x y = map2 ( +. ) x y
 let sub x y = map2 ( -. ) x y
 
 let axpy ~alpha ~x ~y =
   check_same_dim "Vec.axpy" x y;
-  for i = 0 to Array.length x - 1 do
-    y.(i) <- y.(i) +. (alpha *. x.(i))
-  done
+  Kernel.axpy ~alpha ~x:(Kernel.full x) ~y:(Kernel.full y)
 
 let equal ?(eps = 0.0) x y =
-  Array.length x = Array.length y
+  Float.Array.length x = Float.Array.length y
   && begin
        let ok = ref true in
-       for i = 0 to Array.length x - 1 do
-         if Float.abs (x.(i) -. y.(i)) > eps then ok := false
+       for i = 0 to Float.Array.length x - 1 do
+         if
+           Float.abs (Float.Array.unsafe_get x i -. Float.Array.unsafe_get y i)
+           > eps
+         then ok := false
        done;
        !ok
      end
 
-let concat vs = Array.concat vs
+let concat = Float.Array.concat
+
+let iteri = Float.Array.iteri
+let fold_left = Float.Array.fold_left
+let map = Float.Array.map
 
 let pp ppf v =
   Format.fprintf ppf "(";
-  Array.iteri
+  Float.Array.iteri
     (fun i x -> if i = 0 then Format.fprintf ppf "%g" x else Format.fprintf ppf ", %g" x)
     v;
   Format.fprintf ppf ")"

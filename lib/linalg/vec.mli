@@ -1,10 +1,13 @@
-(** Dense vectors of floats.
+(** Dense vectors of floats on flat unboxed storage.
 
-    A vector is an ordinary [float array]; this module gathers the
-    BLAS-1 style operations the factorizations need.  All binary
-    operations check that lengths agree. *)
+    The representation is abstract: a vector is backed by a single
+    contiguous [floatarray], so the numeric kernels never chase
+    pointers.  Construct from ordinary OCaml data with {!of_array} /
+    {!of_list} and extract with {!to_array}; code on the hot path
+    uses {!unsafe_get}/{!unsafe_set} or takes a {!Kernel.view}.  All
+    binary operations check that lengths agree. *)
 
-type t = float array
+type t
 
 val create : int -> t
 (** [create n] is a zero vector of length [n]. *)
@@ -15,9 +18,40 @@ val copy : t -> t
 
 val of_list : float list -> t
 
+val of_array : float array -> t
+(** Fresh vector with the same contents (always copies). *)
+
+val to_array : t -> float array
+(** Fresh [float array] copy, for interoperating with non-linalg
+    code (reports, JSON export, tests). *)
+
 val dim : t -> int
 
 val fill : t -> float -> unit
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+
+val unsafe_get : t -> int -> float
+(** No bounds check; for kernel inner loops only. *)
+
+val unsafe_set : t -> int -> float -> unit
+
+val raw : t -> floatarray
+(** The backing storage itself — an {e aliasing} escape hatch for
+    kernels (writes through the result write the vector).  Prefer
+    {!view}. *)
+
+val of_raw : floatarray -> t
+(** Adopts the storage without copying; the caller must not retain
+    other mutable references to it. *)
+
+val view : t -> Kernel.view
+(** The whole vector as a unit-stride aliasing view. *)
+
+val slice : t -> int -> int -> t
+(** [slice v pos len] is a fresh copy of the [len] elements starting
+    at [pos]. *)
 
 val dot : t -> t -> float
 (** Inner product. *)
@@ -50,6 +84,12 @@ val equal : ?eps:float -> t -> t -> bool
     (default [0.]). *)
 
 val map2 : (float -> float -> float) -> t -> t -> t
+
+val map : (float -> float) -> t -> t
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val fold_left : ('a -> float -> 'a) -> 'a -> t -> 'a
 
 val concat : t list -> t
 (** Concatenation, used to join per-kernel measurement segments. *)

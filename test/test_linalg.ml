@@ -3,40 +3,43 @@
    error. *)
 
 let checkf = Alcotest.(check (float 1e-10))
+let vec = Linalg.Vec.of_array
+let check_vec eps msg expected v =
+  Alcotest.(check (array (float eps))) msg expected (Linalg.Vec.to_array v)
 
 (* ------------------------------------------------------------------ *)
 (* Vec                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let test_vec_dot () =
-  checkf "dot" 32.0 (Linalg.Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  checkf "dot" 32.0 (Linalg.Vec.dot (vec [| 1.; 2.; 3. |]) (vec [| 4.; 5.; 6. |]));
   Alcotest.check_raises "mismatch" (Invalid_argument "Vec.dot: dimension mismatch")
-    (fun () -> ignore (Linalg.Vec.dot [| 1. |] [| 1.; 2. |]))
+    (fun () -> ignore (Linalg.Vec.dot (vec [| 1. |]) (vec [| 1.; 2. |])))
 
 let test_vec_norms () =
-  checkf "norm2 3-4-5" 5.0 (Linalg.Vec.norm2 [| 3.; 4. |]);
-  checkf "norm2 zero" 0.0 (Linalg.Vec.norm2 [| 0.; 0. |]);
-  checkf "norm_inf" 4.0 (Linalg.Vec.norm_inf [| 3.; -4. |]);
-  checkf "norm1" 7.0 (Linalg.Vec.norm1 [| 3.; -4. |])
+  checkf "norm2 3-4-5" 5.0 (Linalg.Vec.norm2 (vec [| 3.; 4. |]));
+  checkf "norm2 zero" 0.0 (Linalg.Vec.norm2 (vec [| 0.; 0. |]));
+  checkf "norm_inf" 4.0 (Linalg.Vec.norm_inf (vec [| 3.; -4. |]));
+  checkf "norm1" 7.0 (Linalg.Vec.norm1 (vec [| 3.; -4. |]))
 
 let test_vec_norm2_no_overflow () =
-  let v = [| 1e200; 1e200 |] in
+  let v = vec [| 1e200; 1e200 |] in
   checkf "scaled norm" (1e200 *. sqrt 2.0 /. 1e200) (Linalg.Vec.norm2 v /. 1e200)
 
 let test_vec_axpy () =
-  let y = [| 1.; 1. |] in
-  Linalg.Vec.axpy ~alpha:2.0 ~x:[| 10.; 20. |] ~y;
-  Alcotest.(check (array (float 1e-12))) "axpy" [| 21.; 41. |] y
+  let y = vec [| 1.; 1. |] in
+  Linalg.Vec.axpy ~alpha:2.0 ~x:(vec [| 10.; 20. |]) ~y;
+  check_vec 1e-12 "axpy" [| 21.; 41. |] y
 
 let test_vec_arith () =
-  Alcotest.(check (array (float 1e-12))) "add" [| 4.; 6. |]
-    (Linalg.Vec.add [| 1.; 2. |] [| 3.; 4. |]);
-  Alcotest.(check (array (float 1e-12))) "sub" [| -2.; -2. |]
-    (Linalg.Vec.sub [| 1.; 2. |] [| 3.; 4. |]);
-  Alcotest.(check (array (float 1e-12))) "scale" [| 2.; 4. |]
-    (Linalg.Vec.scale 2.0 [| 1.; 2. |]);
+  check_vec 1e-12 "add" [| 4.; 6. |]
+    (Linalg.Vec.add (vec [| 1.; 2. |]) (vec [| 3.; 4. |]));
+  check_vec 1e-12 "sub" [| -2.; -2. |]
+    (Linalg.Vec.sub (vec [| 1.; 2. |]) (vec [| 3.; 4. |]));
+  check_vec 1e-12 "scale" [| 2.; 4. |]
+    (Linalg.Vec.scale 2.0 (vec [| 1.; 2. |]));
   Alcotest.(check bool) "equal with eps" true
-    (Linalg.Vec.equal ~eps:0.01 [| 1.0 |] [| 1.005 |])
+    (Linalg.Vec.equal ~eps:0.01 (vec [| 1.0 |]) (vec [| 1.005 |]))
 
 (* ------------------------------------------------------------------ *)
 (* Mat                                                                 *)
@@ -53,10 +56,10 @@ let test_mat_mul () =
 
 let test_mat_mul_vec () =
   let a = mat_of_rows [ [ 1.; 2. ]; [ 3.; 4. ]; [ 5.; 6. ] ] in
-  Alcotest.(check (array (float 1e-12))) "A x" [| 5.; 11.; 17. |]
-    (Linalg.Mat.mul_vec a [| 1.; 2. |]);
-  Alcotest.(check (array (float 1e-12))) "A^T x" [| 22.; 28. |]
-    (Linalg.Mat.tmul_vec a [| 1.; 2.; 3. |])
+  check_vec 1e-12 "A x" [| 5.; 11.; 17. |]
+    (Linalg.Mat.mul_vec a (vec [| 1.; 2. |]));
+  check_vec 1e-12 "A^T x" [| 22.; 28. |]
+    (Linalg.Mat.tmul_vec a (vec [| 1.; 2.; 3. |]))
 
 let test_mat_transpose_involution () =
   let a = Linalg.Mat.init 3 5 (fun i j -> float_of_int ((i * 7) + j)) in
@@ -65,7 +68,7 @@ let test_mat_transpose_involution () =
 
 let test_mat_cols_and_select () =
   let a = mat_of_rows [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
-  Alcotest.(check (array (float 1e-12))) "col" [| 2.; 5. |] (Linalg.Mat.col a 1);
+  check_vec 1e-12 "col" [| 2.; 5. |] (Linalg.Mat.col a 1);
   let s = Linalg.Mat.select_cols a [| 2; 0 |] in
   Alcotest.(check bool) "select" true
     (Linalg.Mat.equal s (mat_of_rows [ [ 3.; 1. ]; [ 6.; 4. ] ]))
@@ -82,8 +85,7 @@ let test_mat_of_cols_roundtrip () =
   Alcotest.(check int) "rows" 2 (Linalg.Mat.rows a);
   Alcotest.(check int) "cols" 3 (Linalg.Mat.cols a);
   Array.iteri
-    (fun j c ->
-      Alcotest.(check (array (float 1e-12))) "col roundtrip" c (Linalg.Mat.col a j))
+    (fun j c -> check_vec 1e-12 "col roundtrip" c (Linalg.Mat.col a j))
     cols
 
 let test_mat_norm2_known () =
@@ -106,18 +108,18 @@ let test_mat_norm2_bounds () =
 (* ------------------------------------------------------------------ *)
 
 let test_householder_annihilates () =
-  let x = [| 3.; 4.; 0.; 5. |] in
+  let x = vec [| 3.; 4.; 0.; 5. |] in
   let h, beta = Linalg.Householder.of_column x in
-  let y = Array.copy x in
+  let y = Linalg.Vec.copy x in
   Linalg.Householder.apply_to_vec h y;
   Alcotest.(check (float 1e-10)) "beta = +-|x|" (Linalg.Vec.norm2 x) (Float.abs beta);
-  Alcotest.(check (float 1e-10)) "first entry = beta" beta y.(0);
+  Alcotest.(check (float 1e-10)) "first entry = beta" beta (Linalg.Vec.get y 0);
   for i = 1 to 3 do
-    Alcotest.(check (float 1e-10)) "zeroed" 0.0 y.(i)
+    Alcotest.(check (float 1e-10)) "zeroed" 0.0 (Linalg.Vec.get y i)
   done
 
 let test_householder_zero_column () =
-  let h, beta = Linalg.Householder.of_column [| 0.; 0. |] in
+  let h, beta = Linalg.Householder.of_column (vec [| 0.; 0. |]) in
   Alcotest.(check (float 0.0)) "beta 0" 0.0 beta;
   Alcotest.(check (float 0.0)) "identity tau" 0.0 h.Linalg.Householder.tau
 
@@ -157,12 +159,12 @@ let test_qr_rank_detection () =
 let test_qr_apply_qt_consistent () =
   let f = Linalg.Qr.factor sample_matrix in
   let q = Linalg.Qr.q_explicit f in
-  let b = [| 1.; 2.; 3.; 4. |] in
+  let b = vec [| 1.; 2.; 3.; 4. |] in
   let qtb_full = Linalg.Qr.apply_qt f b in
   let expected = Linalg.Mat.tmul_vec q b in
   (* The thin Q gives the first n entries of Q^T b. *)
-  Array.iteri
-    (fun i e -> Alcotest.(check (float 1e-9)) "Q^T b" e qtb_full.(i))
+  Linalg.Vec.iteri
+    (fun i e -> Alcotest.(check (float 1e-9)) "Q^T b" e (Linalg.Vec.get qtb_full i))
     expected
 
 (* ------------------------------------------------------------------ *)
@@ -171,40 +173,41 @@ let test_qr_apply_qt_consistent () =
 
 let test_lstsq_exact_solve () =
   let a = mat_of_rows [ [ 2.; 0. ]; [ 0.; 3. ]; [ 0.; 0. ] ] in
-  let s = Linalg.Lstsq.solve a [| 4.; 9.; 0. |] in
-  Alcotest.(check (array (float 1e-10))) "x" [| 2.; 3. |] s.Linalg.Lstsq.x;
+  let s = Linalg.Lstsq.solve a (vec [| 4.; 9.; 0. |]) in
+  check_vec 1e-10 "x" [| 2.; 3. |] s.Linalg.Lstsq.x;
   checkf "residual" 0.0 s.Linalg.Lstsq.residual_norm;
   checkf "relative residual" 0.0 s.Linalg.Lstsq.relative_residual
 
 let test_lstsq_overdetermined () =
   (* Fit y = x over points (0,1), (1,2), (2,3): slope/intercept (1,1). *)
   let a = mat_of_rows [ [ 0.; 1. ]; [ 1.; 1. ]; [ 2.; 1. ] ] in
-  let s = Linalg.Lstsq.solve a [| 1.; 2.; 3. |] in
-  Alcotest.(check (array (float 1e-10))) "line fit" [| 1.; 1. |] s.Linalg.Lstsq.x
+  let s = Linalg.Lstsq.solve a (vec [| 1.; 2.; 3. |]) in
+  check_vec 1e-10 "line fit" [| 1.; 1. |] s.Linalg.Lstsq.x
 
 let test_lstsq_minimizes () =
   (* Any perturbation of the solution must not decrease the residual. *)
   let a = mat_of_rows [ [ 1.; 2. ]; [ 3.; 4. ]; [ 5.; 6. ]; [ 7.; 9. ] ] in
-  let b = [| 1.; -1.; 2.; 0.5 |] in
+  let b = vec [| 1.; -1.; 2.; 0.5 |] in
   let s = Linalg.Lstsq.solve a b in
   let residual x = Linalg.Vec.norm2 (Linalg.Vec.sub (Linalg.Mat.mul_vec a x) b) in
   let r0 = residual s.Linalg.Lstsq.x in
+  let xs = Linalg.Vec.to_array s.Linalg.Lstsq.x in
   List.iter
     (fun (dx, dy) ->
-      let x' = [| s.Linalg.Lstsq.x.(0) +. dx; s.Linalg.Lstsq.x.(1) +. dy |] in
+      let x' = vec [| xs.(0) +. dx; xs.(1) +. dy |] in
       Alcotest.(check bool) "perturbed residual >= optimum" true
         (residual x' >= r0 -. 1e-9))
     [ (0.01, 0.0); (-0.01, 0.0); (0.0, 0.01); (0.0, -0.01); (0.005, -0.007) ]
 
 let test_backward_error_exact_zero () =
   let a = mat_of_rows [ [ 1.; 0. ]; [ 0.; 1. ] ] in
-  let e = Linalg.Lstsq.backward_error ~a ~x:[| 2.; 3. |] ~b:[| 2.; 3. |] in
+  let e = Linalg.Lstsq.backward_error ~a ~x:(vec [| 2.; 3. |]) ~b:(vec [| 2.; 3. |]) in
   Alcotest.(check (float 1e-14)) "consistent system" 0.0 e
 
 let test_backward_error_unreachable () =
   (* b orthogonal to range(A) and x = 0: error = ||b|| / ||b|| = 1. *)
   let a = mat_of_rows [ [ 1. ]; [ 0. ] ] in
-  let e = Linalg.Lstsq.backward_error ~a ~x:[| 0. |] ~b:[| 0.; 1. |] in
+  let e = Linalg.Lstsq.backward_error ~a ~x:(vec [| 0. |]) ~b:(vec [| 0.; 1. |]) in
   checkf "unreachable metric" 1.0 e
 
 let test_backward_error_paper_fma_value () =
@@ -216,14 +219,16 @@ let test_backward_error_paper_fma_value () =
     Array.init dim (fun r -> if r = i then 1.0 else if r = i + 4 then 2.0 else 0.0)
   in
   let a = Linalg.Mat.of_cols (Array.init 4 col) in
-  let b = Array.init dim (fun r -> if r >= 4 then 2.0 else 0.0) in
+  let b = Linalg.Vec.init dim (fun r -> if r >= 4 then 2.0 else 0.0) in
   let s, err = Linalg.Lstsq.solve_with_error a b in
-  Array.iter (fun yi -> Alcotest.(check (float 1e-9)) "y = 0.8" 0.8 yi) s.Linalg.Lstsq.x;
+  Array.iter
+    (fun yi -> Alcotest.(check (float 1e-9)) "y = 0.8" 0.8 yi)
+    (Linalg.Vec.to_array s.Linalg.Lstsq.x);
   Alcotest.(check (float 1e-6)) "error 0.2360" 0.2360679 err
 
 let test_solve_rank_aware_full_rank_matches_solve () =
   let a = mat_of_rows [ [ 1.; 2. ]; [ 3.; 4. ]; [ 5.; 7. ] ] in
-  let b = [| 1.; 0.; 2. |] in
+  let b = vec [| 1.; 0.; 2. |] in
   let plain = Linalg.Lstsq.solve a b in
   let aware, rank = Linalg.Lstsq.solve_rank_aware a b in
   Alcotest.(check int) "full rank" 2 rank;
@@ -234,18 +239,21 @@ let test_solve_rank_aware_deficient () =
   (* Column 2 = 2 x column 1: rank 1; the basic solution puts weight
      on one pivot column only and still minimizes the residual. *)
   let a = mat_of_rows [ [ 1.; 2. ]; [ 2.; 4. ]; [ 3.; 6. ] ] in
-  let b = [| 2.; 4.; 6. |] in
+  let b = vec [| 2.; 4.; 6. |] in
   let s, rank = Linalg.Lstsq.solve_rank_aware a b in
   Alcotest.(check int) "rank 1" 1 rank;
   Alcotest.(check (float 1e-9)) "zero residual" 0.0 s.Linalg.Lstsq.residual_norm;
-  let nonzero = Array.to_list s.Linalg.Lstsq.x |> List.filter (fun c -> c <> 0.0) in
+  let nonzero =
+    Array.to_list (Linalg.Vec.to_array s.Linalg.Lstsq.x)
+    |> List.filter (fun c -> c <> 0.0)
+  in
   Alcotest.(check int) "basic solution" 1 (List.length nonzero)
 
 let test_solve_rank_aware_zero_matrix () =
   let a = Linalg.Mat.create 3 2 in
-  let s, rank = Linalg.Lstsq.solve_rank_aware a [| 1.; 1.; 1. |] in
+  let s, rank = Linalg.Lstsq.solve_rank_aware a (vec [| 1.; 1.; 1. |]) in
   Alcotest.(check int) "rank 0" 0 rank;
-  Alcotest.(check (array (float 0.0))) "x = 0" [| 0.; 0. |] s.Linalg.Lstsq.x;
+  check_vec 0.0 "x = 0" [| 0.; 0. |] s.Linalg.Lstsq.x;
   Alcotest.(check (float 1e-12)) "residual = |b|" (sqrt 3.0)
     s.Linalg.Lstsq.residual_norm
 
@@ -253,7 +261,7 @@ let test_lstsq_underdetermined_rejected () =
   let a = mat_of_rows [ [ 1.; 2.; 3. ] ] in
   Alcotest.check_raises "underdetermined"
     (Invalid_argument "Lstsq.solve: underdetermined system") (fun () ->
-      ignore (Linalg.Lstsq.solve a [| 1. |]))
+      ignore (Linalg.Lstsq.solve a (vec [| 1. |])))
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -283,7 +291,7 @@ let prop_lstsq_residual_orthogonal =
       let a = mat_of spec in
       let m = Linalg.Mat.rows a in
       QCheck.assume (Linalg.Qr.rank (Linalg.Qr.factor a) = Linalg.Mat.cols a);
-      let b = Array.init m (fun i -> float_of_int ((i * 13 mod 7) - 3)) in
+      let b = Linalg.Vec.init m (fun i -> float_of_int ((i * 13 mod 7) - 3)) in
       let s = Linalg.Lstsq.solve a b in
       let r = Linalg.Vec.sub (Linalg.Mat.mul_vec a s.Linalg.Lstsq.x) b in
       let atr = Linalg.Mat.tmul_vec a r in

@@ -23,7 +23,8 @@ let test_exact_event_kept_with_zero_variability () =
   | [ c ] ->
     Alcotest.(check bool) "kept" true (c.status = Core.Noise_filter.Kept);
     Alcotest.(check (float 0.0)) "zero variability" 0.0 c.variability;
-    Alcotest.(check (array (float 0.0))) "mean" [| 1.; 2.; 3. |] c.mean
+    Alcotest.(check (array (float 0.0))) "mean" [| 1.; 2.; 3. |]
+      (Linalg.Vec.to_array c.mean)
   | _ -> Alcotest.fail "expected one classification"
 
 let test_noisy_event_rejected () =

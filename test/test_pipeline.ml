@@ -144,7 +144,7 @@ let raw_mean_matrix category =
          (fun (c : Core.Noise_filter.classified) -> c.event.Hwsim.Event.name)
          nonzero)
   in
-  (Linalg.Mat.of_cols cols, names)
+  (Linalg.Mat.of_col_vecs cols, names)
 
 let test_standard_qrcp_on_raw_matrix_picks_large_norm_event () =
   (* The paper's motivation for the specialized pivot: on the raw

@@ -14,15 +14,17 @@ let classified ?(noise = Hwsim.Noise_model.Exact) name mean =
   {
     Core.Noise_filter.event = Hwsim.Event.make ~noise ~name ~desc:"test" [];
     variability = 0.0;
-    mean;
+    mean = Linalg.Vec.of_array mean;
     status = Core.Noise_filter.Kept;
   }
 
 let test_exact_representation () =
   let x, resid =
-    Core.Projection.project_one basis_2d ~mean:[| 20.; 40.; 5.; 15. |]
+    Core.Projection.project_one basis_2d
+      ~mean:(Linalg.Vec.of_array [| 20.; 40.; 5.; 15. |])
   in
-  Alcotest.(check (array (float 1e-10))) "coords (2,1)" [| 2.; 1. |] x;
+  Alcotest.(check (array (float 1e-10))) "coords (2,1)" [| 2.; 1. |]
+    (Linalg.Vec.to_array x);
   Alcotest.(check (float 1e-10)) "zero residual" 0.0 resid
 
 let test_unrepresentable_rejected () =
@@ -51,7 +53,7 @@ let test_mixed_acceptance_and_matrix () =
   Alcotest.(check int) "2 columns" 2 (Linalg.Mat.cols x);
   Alcotest.(check int) "basis-dim rows" 2 (Linalg.Mat.rows x);
   Alcotest.(check (array (float 1e-10))) "combo coords" [| 1.; 2. |]
-    (Linalg.Mat.col x 1)
+    (Linalg.Vec.to_array (Linalg.Mat.col x 1))
 
 let test_to_matrix_empty_rejected () =
   Alcotest.check_raises "no accepted events"
@@ -98,13 +100,14 @@ let test_fp_event_representation_is_class_plus_2fma () =
   let basis = Core.Category.basis Core.Category.Cpu_flops in
   let i_class = Core.Expectation.label_index basis "D256" in
   let i_fma = Core.Expectation.label_index basis "D256_FMA" in
-  Alcotest.(check (float 1e-9)) "class coeff 1" 1.0 p.representation.(i_class);
-  Alcotest.(check (float 1e-9)) "fma coeff 2" 2.0 p.representation.(i_fma);
+  let rep = Linalg.Vec.to_array p.representation in
+  Alcotest.(check (float 1e-9)) "class coeff 1" 1.0 rep.(i_class);
+  Alcotest.(check (float 1e-9)) "fma coeff 2" 2.0 rep.(i_fma);
   Array.iteri
     (fun i c ->
       if i <> i_class && i <> i_fma then
         Alcotest.(check (float 1e-9)) "other coords zero" 0.0 c)
-    p.representation
+    rep
 
 let test_branch_events_exact_in_branch_basis () =
   let projected = run_projection Core.Category.Branch in
@@ -113,7 +116,7 @@ let test_branch_events_exact_in_branch_basis () =
     let p = find name projected in
     Alcotest.(check bool) (name ^ " accepted") true p.accepted;
     let i = Core.Expectation.label_index basis label in
-    Alcotest.(check (float 1e-9)) (name ^ " unit coord") 1.0 p.representation.(i)
+    Alcotest.(check (float 1e-9)) (name ^ " unit coord") 1.0 (Linalg.Vec.get p.representation i)
   in
   check_unit "BR_INST_RETIRED:COND" "CR";
   check_unit "BR_INST_RETIRED:COND_TAKEN" "T";
@@ -126,7 +129,7 @@ let test_branch_events_exact_in_branch_basis () =
       if p.accepted then
         Alcotest.(check (float 1e-9))
           (p.event.Hwsim.Event.name ^ " no CE content")
-          0.0 p.representation.(i_ce))
+          0.0 (Linalg.Vec.get p.representation i_ce))
     projected
 
 let test_cache_representations_near_units () =
@@ -137,7 +140,7 @@ let test_cache_representations_near_units () =
       let p = find name projected in
       Alcotest.(check bool) (name ^ " accepted") true p.accepted;
       let i = Core.Expectation.label_index basis label in
-      Alcotest.(check (float 0.02)) (name ^ " coord ~1") 1.0 p.representation.(i))
+      Alcotest.(check (float 0.02)) (name ^ " coord ~1") 1.0 (Linalg.Vec.get p.representation i))
     [ ("MEM_LOAD_RETIRED:L1_HIT", "L1DH");
       ("MEM_LOAD_RETIRED:L1_MISS", "L1DM");
       ("L2_RQSTS:DEMAND_DATA_RD_HIT", "L2DH");
@@ -161,7 +164,7 @@ let test_expectation_kernel_space () =
       (Core.Signature.find Core.Signature.cpu_flops "DP Ops.")
       basis
   in
-  let v = Core.Expectation.in_kernel_space basis s in
+  let v = Linalg.Vec.to_array (Core.Expectation.in_kernel_space basis s) in
   Alcotest.(check int) "48 rows" 48 (Array.length v);
   (* dp_scalar rows: 24/48/96 k-instructions, 1 op each. *)
   let iters = float_of_int Cat_bench.Flops_kernels.iterations in
@@ -201,9 +204,11 @@ let test_basis_diagnostics_degenerate () =
   Alcotest.(check int) "rank 4 of 5" 4 d.Core.Expectation.rank;
   (* Projection still works (rank-aware path), representations are
      finite. *)
-  let x, _ = Core.Projection.project_one basis ~mean:(Array.make 11 1.0) in
-  Array.iter
-    (fun c -> Alcotest.(check bool) "finite" true (Float.is_finite c))
+  let x, _ =
+    Core.Projection.project_one basis ~mean:(Linalg.Vec.init 11 (fun _ -> 1.0))
+  in
+  Linalg.Vec.iteri
+    (fun _ c -> Alcotest.(check bool) "finite" true (Float.is_finite c))
     x
 
 let test_duplicate_label_rejected () =

@@ -29,7 +29,8 @@ let test_paper_worked_example () =
   (* Section V: alpha = 0.01, vector (1.002, 0.001, -0.5, 1.5) scores
      1 + 0 + 1/0.5 + 1.5 = 4.5. *)
   Alcotest.(check (float 1e-12)) "paper example" 4.5
-    (Core.Special_qrcp.column_score ~alpha:0.01 [| 1.002; 0.001; -0.5; 1.5 |])
+    (Core.Special_qrcp.column_score ~alpha:0.01
+       (Linalg.Vec.of_array [| 1.002; 0.001; -0.5; 1.5 |]))
 
 let test_beta () =
   Alcotest.(check (float 1e-15)) "alpha * sqrt(m)" (0.05 *. 2.0)
@@ -75,7 +76,7 @@ let test_scaled_copy_dropped () =
 let test_noise_within_alpha_treated_as_clean () =
   (* 0.9997 rounds to 1 under alpha = 0.05 and scores like a true
      axis; under alpha = 1e-5 it scores 1/0.9997 > 1. *)
-  let col = [| 0.9997; 0.0002 |] in
+  let col = Linalg.Vec.of_array [| 0.9997; 0.0002 |] in
   Alcotest.(check (float 1e-9)) "coarse alpha" 1.0
     (Core.Special_qrcp.column_score ~alpha:0.05 col);
   Alcotest.(check bool) "fine alpha penalizes" true
