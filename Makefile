@@ -11,12 +11,15 @@ test:
 	dune runtest
 
 # Single CI entry point: build, full test suite, an observability
-# smoke run (per-stage timings + counters on one category), and the
-# linalg benchmark smoke test.
+# smoke run (per-stage timings + counters on one category), the
+# provenance explain smoke (one kept + one discarded event per
+# category must produce a coherent decision chain), and the linalg
+# benchmark smoke test.
 check:
 	dune build
 	dune runtest
 	dune exec bin/analyze.exe -- -c cpu-flops --stats --show summary
+	dune exec bin/analyze.exe -- explain --smoke
 	$(MAKE) bench-smoke
 
 # Full reproduction: every table and figure, plus stage timings.
@@ -49,6 +52,7 @@ examples:
 	dune exec examples/validate_on_app.exe
 	dune exec examples/arithmetic_intensity.exe
 	dune exec examples/store_metrics.exe
+	dune exec examples/explain_event.exe
 
 figures:
 	mkdir -p _figures

@@ -170,15 +170,198 @@ let main category tau alpha proj_tol reps sections csv auto_tau trace stats =
       exit 1)
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* explain: query the per-event provenance ledger                      *)
+(* ------------------------------------------------------------------ *)
+
+let explain_category =
+  let doc = "Benchmark category whose ledger to build." in
+  Arg.(value & pos 0 (some category_conv) None & info [] ~docv:"CATEGORY" ~doc)
+
+let explain_event =
+  let doc = "Event name to explain (as printed by the catalog and the \
+             summaries)." in
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"EVENT" ~doc)
+
+let explain_all =
+  let doc = "Print the decision chain of every event in the catalog." in
+  Arg.(value & flag & info [ "all" ] ~doc)
+
+let explain_fate =
+  let doc = "With $(b,--all), restrict to one terminal fate: all-zero, \
+             noisy, unrepresentable, eliminated-below-beta, \
+             eliminated-rank-exhausted or chosen." in
+  Arg.(value & opt (some string) None & info [ "fate" ] ~docv:"FATE" ~doc)
+
+let explain_json =
+  let doc = "Export the full ledger as versioned JSON to $(docv) \
+             ('-' for stdout)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let explain_smoke =
+  let doc = "Self-check mode (used by 'make check'): for each category \
+             (or the one given), explain one chosen and one discarded \
+             event and fail if any chain is empty or names an unknown \
+             stage." in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let ledger_for category =
+  (* Record during the run so the CLI exercises the emission path (the
+     rebuild path is the fallback for results produced without
+     recording). *)
+  Provenance.set_recording true;
+  let r = Core.Pipeline.run category in
+  Provenance.set_recording false;
+  (r, Core.Pipeline.ledger r)
+
+let write_json path ledger =
+  let text =
+    Core.Json.to_string (Provenance.Ledger.to_json ledger) ^ "\n"
+  in
+  if path = "-" then print_string text
+  else begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text);
+    Printf.eprintf "ledger written to %s\n" path
+  end
+
+let smoke_category category =
+  let module L = Provenance.Ledger in
+  let _, ledger = ledger_for category in
+  (match L.validate ledger with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "explain smoke: %s: invalid ledger: %s\n"
+      (Core.Category.name category) msg;
+    exit 1);
+  let chosen = L.with_fate ledger L.Chosen in
+  let discarded =
+    List.filter (fun e -> L.fate e <> L.Chosen) ledger.L.entries
+  in
+  let check kind = function
+    | [] ->
+      Printf.eprintf "explain smoke: %s: no %s event to explain\n"
+        (Core.Category.name category) kind;
+      exit 1
+    | e :: _ ->
+      let text = L.chain ledger e in
+      print_string text;
+      if String.trim text = "" then begin
+        Printf.eprintf "explain smoke: %s: empty chain for %s\n"
+          (Core.Category.name category) e.L.event;
+        exit 1
+      end;
+      let lower = String.lowercase_ascii text in
+      let contains sub =
+        let n = String.length lower and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub lower i m = sub || go (i + 1)) in
+        go 0
+      in
+      if contains "unknown" || contains "inconsistent" then begin
+        Printf.eprintf "explain smoke: %s: chain for %s has an unknown stage\n"
+          (Core.Category.name category) e.L.event;
+        exit 1
+      end
+  in
+  check "chosen" chosen;
+  check "discarded" discarded
+
+let explain_main category event all fate json smoke =
+  let module L = Provenance.Ledger in
+  if smoke then begin
+    let categories =
+      match category with Some c -> [ c ] | None -> Core.Category.all
+    in
+    List.iter smoke_category categories;
+    Printf.printf "explain smoke ok (%d categories)\n" (List.length categories)
+  end
+  else begin
+    let category =
+      match category with
+      | Some c -> c
+      | None ->
+        prerr_endline
+          "analyze explain: a CATEGORY is required (or use --smoke)";
+        exit 2
+    in
+    let fate =
+      match fate with
+      | None -> None
+      | Some name -> (
+        match L.fate_of_name name with
+        | Some f -> Some f
+        | None ->
+          Printf.eprintf "analyze explain: unknown fate %S\n" name;
+          exit 2)
+    in
+    let _, ledger = ledger_for category in
+    Option.iter (fun path -> write_json path ledger) json;
+    (match (event, all) with
+    | Some name, _ -> (
+      match L.find ledger name with
+      | Some e -> print_string (L.chain ledger e)
+      | None ->
+        Printf.eprintf
+          "analyze explain: no event %S in the %s catalog (%d events; see \
+           'analyze explain %s --all')\n"
+          name (Core.Category.name category)
+          (List.length ledger.L.entries)
+          (Core.Category.name category);
+        exit 1)
+    | None, true ->
+      let entries =
+        match fate with
+        | None -> ledger.L.entries
+        | Some f -> L.with_fate ledger f
+      in
+      List.iter (fun e -> print_string (L.chain ledger e ^ "\n")) entries
+    | None, false ->
+      if json = None then begin
+        prerr_endline
+          "analyze explain: give an EVENT, or --all, or --json FILE";
+        exit 2
+      end)
+  end
+
+let explain_cmd =
+  let doc =
+    "Explain every verdict the pipeline passed on a raw event (or export \
+     the full provenance ledger)"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the pipeline with provenance recording on and queries the \
+         resulting ledger: for each event, the noise filter's variability \
+         verdict against tau, the projection residual against its \
+         tolerance, the specialized QRCP's pick round (with score and \
+         runner-up) or elimination reason, and the final metric \
+         memberships.";
+      `P
+        "With --json FILE the complete ledger is exported as versioned \
+         JSON; ledgers from disjoint event ranges can later be merged.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc ~man)
+    Term.(
+      const explain_main $ explain_category $ explain_event $ explain_all
+      $ explain_fate $ explain_json $ explain_smoke)
+
 let cmd =
   let doc =
     "Map raw hardware events to performance metrics via noise filtering, \
      expectation-basis projection, specialized QRCP and least squares"
   in
   let info = Cmd.info "analyze" ~version:"1.0.0" ~doc in
-  Cmd.v info
+  let default =
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
       $ csv_file $ auto_tau $ trace_file $ stats_flag)
+  in
+  Cmd.group ~default info [ explain_cmd ]
 
 let () = exit (Cmd.eval cmd)

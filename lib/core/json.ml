@@ -1,71 +1,5 @@
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
-
-let number_string f =
-  if Float.is_finite f then begin
-    if Float.is_integer f && Float.abs f < 1e15 then
-      Printf.sprintf "%.0f" f
-    else Printf.sprintf "%.17g" f
-  end
-  else "null"
-
-let to_string ?(indent = 2) t =
-  let buf = Buffer.create 256 in
-  let pad level = Buffer.add_string buf (String.make (level * indent) ' ') in
-  let rec go level = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Num f -> Buffer.add_string buf (number_string f)
-    | Str s -> Buffer.add_string buf (escape_string s)
-    | List [] -> Buffer.add_string buf "[]"
-    | List items ->
-      Buffer.add_string buf "[\n";
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          pad (level + 1);
-          go (level + 1) item)
-        items;
-      Buffer.add_char buf '\n';
-      pad level;
-      Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
-    | Obj fields ->
-      Buffer.add_string buf "{\n";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          pad (level + 1);
-          Buffer.add_string buf (escape_string k);
-          Buffer.add_string buf ": ";
-          go (level + 1) v)
-        fields;
-      Buffer.add_char buf '\n';
-      pad level;
-      Buffer.add_char buf '}'
-  in
-  go 0 t;
-  Buffer.contents buf
+(* The JSON implementation lives in lib/jsonio so that libraries below
+   core in the dependency order (lib/provenance) can emit and parse the
+   same documents; this module keeps the historical [Core.Json] path
+   alive for core code and downstream users. *)
+include Jsonio

@@ -1,11 +1,10 @@
-(** Minimal JSON emission (no parsing, no dependencies).
+(** JSON emission and parsing — alias of {!Jsonio}.
 
-    Used to export derived presets and experiment records in a form
-    other tools can consume.  Numbers are printed with [%.17g] so a
-    round-trip through a standards-compliant parser preserves
-    doubles. *)
+    The implementation lives in [lib/jsonio] (below core in the
+    dependency order) so that [lib/provenance] can share the exact
+    document type; [Core.Json] remains the name core code uses. *)
 
-type t =
+type t = Jsonio.t =
   | Null
   | Bool of bool
   | Num of float
@@ -14,9 +13,16 @@ type t =
   | Obj of (string * t) list
 
 val to_string : ?indent:int -> t -> string
-(** Pretty-printed with [indent] spaces per level (default 2);
-    strings are escaped per RFC 8259.  Non-finite numbers are emitted
-    as [null] (JSON has no representation for them). *)
+(** See {!Jsonio.to_string}. *)
 
 val escape_string : string -> string
-(** The quoted, escaped form of a string (exposed for tests). *)
+(** See {!Jsonio.escape_string}. *)
+
+val of_string : string -> (t, string) result
+(** See {!Jsonio.of_string}. *)
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

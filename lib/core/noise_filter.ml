@@ -20,25 +20,38 @@ let measure_name = function
   | Mean_rnmse -> "mean-rnmse"
   | Max_relative_range -> "max-relative-range"
 
+let provenance_status = function
+  | Kept -> Provenance.Ledger.Kept
+  | Too_noisy -> Provenance.Ledger.Too_noisy
+  | All_zero -> Provenance.Ledger.All_zero
+
 let classify ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
   let classified =
     List.map
       (fun (m : Cat_bench.Dataset.measurement) ->
         let mean = Linalg.Vec.of_array (Numkit.Stats.elementwise_mean m.reps) in
         let every_rep_zero = List.for_all Numkit.Stats.all_zero m.reps in
-        if every_rep_zero then
-          (* Footnote 1: an event that never fires is irrelevant. *)
-          { event = m.event; variability = 0.0; mean; status = All_zero }
-        else begin
-          let variability = apply_measure measure m.reps in
-          (* Non-finite variability (NaN readings from a corrupt import)
-             must never classify as clean. *)
-          let status =
-            if variability > tau || not (Float.is_finite variability) then Too_noisy
-            else Kept
-          in
-          { event = m.event; variability; mean; status }
-        end)
+        let c =
+          if every_rep_zero then
+            (* Footnote 1: an event that never fires is irrelevant. *)
+            { event = m.event; variability = 0.0; mean; status = All_zero }
+          else begin
+            let variability = apply_measure measure m.reps in
+            (* Non-finite variability (NaN readings from a corrupt import)
+               must never classify as clean. *)
+            let status =
+              if variability > tau || not (Float.is_finite variability) then Too_noisy
+              else Kept
+            in
+            { event = m.event; variability; mean; status }
+          end
+        in
+        if Provenance.recording () then
+          Provenance.emit_noise ~event:m.event.Hwsim.Event.name
+            ~description:m.event.Hwsim.Event.description
+            ~measure:(measure_name measure) ~variability:c.variability ~tau
+            ~status:(provenance_status c.status);
+        c)
       dataset.measurements
   in
   if Obs.enabled () then begin

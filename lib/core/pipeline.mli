@@ -29,6 +29,11 @@ type result = {
   chosen_names : string array;
   xhat : Linalg.Mat.t;  (** The chosen columns of [x]. *)
   metrics : Metric_solver.metric_def list;  (** One per signature. *)
+  mutable ledger : Provenance.Ledger.t option;
+      (** The per-event provenance ledger, populated by the run when
+          {!Provenance.recording} was on (and cached here by {!ledger}
+          otherwise).  Recording changes nothing else in the result —
+          the stages only {e read} extra state to emit facts. *)
 }
 
 val run : ?config:config -> Category.t -> result
@@ -45,6 +50,15 @@ val run_custom :
 
 val run_all : unit -> result list
 (** All four categories with default parameters. *)
+
+val ledger : result -> Provenance.Ledger.t
+(** The result's provenance ledger.  If the run recorded one (see
+    {!Provenance.set_recording}) it is returned as-is; otherwise it is
+    rebuilt from the stage outputs the result already carries (one
+    extra specialized-QRCP factorization, like {!Report.qrcp_trace})
+    and cached on the result.  The two paths are bit-identical — the
+    recorded ledger is the emission-side view, the rebuilt one the
+    pure re-derivation, and the drift tests pin them equal. *)
 
 val metric : result -> string -> Metric_solver.metric_def
 (** Lookup a metric definition by name; raises [Not_found]. *)

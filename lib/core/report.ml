@@ -32,30 +32,32 @@ let metric_table (r : Pipeline.result) =
     r.metrics;
   Buffer.contents buf
 
+(* Both summaries below read the provenance ledger — the single source
+   of per-event verdicts — rather than re-scanning [classified] and
+   re-deriving the pick order; --stats counters and the ledger export
+   are then views of the same record. *)
+
 let chosen_events (r : Pipeline.result) =
   let buf = Buffer.create 1024 in
   bprintf buf "Events chosen by the specialized QRCP for %s (alpha = %g):\n"
     (Category.name r.category) r.config.alpha;
-  Array.iteri
-    (fun i name -> bprintf buf "  %2d. %s\n" (i + 1) name)
-    r.chosen_names;
+  List.iter
+    (fun ((e : Provenance.Ledger.entry), (p : Provenance.Ledger.pick)) ->
+      bprintf buf "  %2d. %s\n" p.round e.event)
+    (Provenance.Ledger.chosen_in_order (Pipeline.ledger r));
   Buffer.contents buf
 
 let filter_summary (r : Pipeline.result) =
-  let kept = Noise_filter.count r.classified Noise_filter.Kept in
-  let noisy = Noise_filter.count r.classified Noise_filter.Too_noisy in
-  let zero = Noise_filter.count r.classified Noise_filter.All_zero in
-  let accepted = List.length (Projection.accepted r.projected) in
+  let t = Provenance.Ledger.totals (Pipeline.ledger r) in
   let base =
     Printf.sprintf
       "%s: %d events measured; %d all-zero (irrelevant), %d above tau=%g \
        (noisy), %d kept; %d representable in the basis (X has %d columns); \
        %d chosen by QRCP\n"
-      (Category.name r.category)
-      (List.length r.classified)
-      zero noisy r.config.tau kept accepted
+      (Category.name r.category) t.events t.all_zero t.noisy r.config.tau
+      t.kept t.accepted
       (Linalg.Mat.cols r.x)
-      (Array.length r.chosen_names)
+      t.chosen
   in
   let d = r.basis_diagnostics in
   if d.Expectation.full_rank then base

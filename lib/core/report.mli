@@ -17,11 +17,12 @@ val metric_table : Pipeline.result -> string
 
 val chosen_events : Pipeline.result -> string
 (** Section V-A..D: the events selected by the specialized QRCP, in
-    pick order with their scores. *)
+    pick order — read from the provenance ledger's pick rounds. *)
 
 val filter_summary : Pipeline.result -> string
 (** Section IV: how many events were kept / rejected as noisy /
-    discarded as all-zero. *)
+    discarded as all-zero — the provenance ledger's stage totals
+    (see {!Pipeline.ledger}). *)
 
 (** {1 Figure data} *)
 

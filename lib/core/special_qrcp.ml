@@ -25,6 +25,17 @@ type step = {
   trailing_norm : float;
   candidates : int;
   runner_up : int option;
+  runner_up_score : float option;
+}
+
+type leftover_reason = Provenance.Ledger.elimination_reason =
+  | Below_beta
+  | Rank_exhausted
+
+type leftover = {
+  col : int;
+  final_norm : float;
+  reason : leftover_reason;
 }
 
 (* get_pivot of Algorithm 2.  Scores are those of the {e original}
@@ -75,9 +86,11 @@ let get_pivot a ~perm ~scores0 ~from ~beta_threshold =
           trailing_norm = best.c_norm;
           candidates = 1 + List.length rest;
           runner_up = (match rest with [] -> None | r :: _ -> Some r.c_orig);
+          runner_up_score =
+            (match rest with [] -> None | r :: _ -> Some r.c_score);
         } )
 
-let factor_traced ~alpha x =
+let factor_full ~alpha x =
   let m = Linalg.Mat.rows x and n = Linalg.Mat.cols x in
   if m = 0 || n = 0 then invalid_arg "Special_qrcp.factor: empty matrix";
   let a = Linalg.Mat.copy x in
@@ -95,6 +108,11 @@ let factor_traced ~alpha x =
        | Some (best, step) ->
          let sp = Obs.begin_span "qrcp-pivot" in
          trace := step :: !trace;
+         if Provenance.recording () then
+           Provenance.emit_pick ~col:step.pick ~round:(i + 1)
+             ~score:step.score ~trailing_norm:step.trailing_norm
+             ~candidates:step.candidates ~runner_up:step.runner_up
+             ~runner_up_score:step.runner_up_score;
          let pivot = best.c_j in
          Linalg.Mat.swap_cols a i pivot;
          let tmp = perm.(i) in
@@ -126,10 +144,46 @@ let factor_traced ~alpha x =
          end
      done
    with Exit -> ());
-  ( { perm; rank = !rank; scores = Array.sub scores 0 !rank },
-    List.rev !trace )
+  let rank = !rank in
+  (* Terminal verdicts for the columns the factorization did not pick.
+     Reading the trailing panel's norms does not touch the
+     factorization state, so picks and R are unaffected.  With
+     [rank = m] the chosen columns span all of R^m and every residual
+     is exactly zero — those columns simply ran out of pick rounds. *)
+  let leftovers =
+    if rank >= n then []
+    else begin
+      let at_full_rank = rank >= m in
+      let norms =
+        if at_full_rank then Array.make (n - rank) 0.0
+        else Linalg.Mat.trailing_col_norms a ~row0:rank ~col0:rank
+      in
+      List.init (n - rank) (fun k ->
+          let norm = norms.(k) in
+          {
+            col = perm.(rank + k);
+            final_norm = norm;
+            reason = (if at_full_rank then Rank_exhausted else Below_beta);
+          })
+    end
+  in
+  if Provenance.recording () then
+    List.iter
+      (fun l ->
+        Provenance.emit_elimination ~col:l.col ~reason:l.reason
+          ~final_norm:l.final_norm ~beta:beta_threshold)
+      leftovers;
+  ( { perm; rank; scores = Array.sub scores 0 rank },
+    List.rev !trace,
+    leftovers )
 
-let factor ~alpha x = fst (factor_traced ~alpha x)
+let factor_traced ~alpha x =
+  let r, steps, _ = factor_full ~alpha x in
+  (r, steps)
+
+let factor ~alpha x =
+  let r, _, _ = factor_full ~alpha x in
+  r
 
 let chosen_columns ~alpha x =
   let r = factor ~alpha x in

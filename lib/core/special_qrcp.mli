@@ -42,9 +42,26 @@ type step = {
   trailing_norm : float;  (** Its trailing norm at selection time. *)
   candidates : int;  (** Columns above the beta threshold this step. *)
   runner_up : int option;  (** Original index of the next-best candidate. *)
+  runner_up_score : float option;  (** The runner-up's (static) score. *)
 }
 (** One pivot decision, for explainability: {e why} did the
     factorization pick this event here? *)
+
+type leftover_reason = Provenance.Ledger.elimination_reason =
+  | Below_beta
+      (** Trailing norm below β when the factorization ended: the
+          column is numerically in the span of the chosen set. *)
+  | Rank_exhausted
+      (** The factorization reached full row rank; the column's
+          residual is exactly zero and it never got a pick round. *)
+
+type leftover = {
+  col : int;  (** Original index of the unchosen column. *)
+  final_norm : float;  (** Its trailing norm when the factorization ended. *)
+  reason : leftover_reason;
+}
+(** The terminal verdict on a column that was {e not} picked — the
+    elimination half of the provenance story. *)
 
 val round_value : alpha:float -> float -> float
 (** The grid rounding R. *)
@@ -63,6 +80,14 @@ val factor : alpha:float -> Linalg.Mat.t -> result
 
 val factor_traced : alpha:float -> Linalg.Mat.t -> result * step list
 (** Like {!factor}, also returning the per-step pick trace. *)
+
+val factor_full :
+  alpha:float -> Linalg.Mat.t -> result * step list * leftover list
+(** Like {!factor_traced}, also returning the elimination verdict of
+    every unchosen column.  When provenance recording is on, every
+    pick and elimination is also emitted to the collector (by column
+    index); the extra work is read-only, so the factorization itself
+    is bit-identical either way. *)
 
 val chosen_columns : alpha:float -> Linalg.Mat.t -> int array
 (** First [rank] entries of the permutation, in pick order. *)

@@ -1,0 +1,40 @@
+(** Minimal JSON emission and parsing (no dependencies).
+
+    Used to export derived presets, experiment records and the
+    provenance ledger in a form other tools can consume, and to read
+    them back.  Numbers are printed with [%.17g] so a round-trip
+    through {!of_string} (or any standards-compliant parser) preserves
+    doubles exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed with [indent] spaces per level (default 2);
+    strings are escaped per RFC 8259.  Non-finite numbers are emitted
+    as [null] (JSON has no representation for them). *)
+
+val escape_string : string -> string
+(** The quoted, escaped form of a string (exposed for tests). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  [Error msg] carries the byte
+    offset of the first problem.  Duplicate object keys are kept in
+    order ({!member} returns the first). *)
+
+(** {1 Accessors}
+
+    Structure-walking helpers for decoding parsed documents. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] for missing fields and non-objects. *)
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option
