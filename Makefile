@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-smoke bench-linalg repro examples figures docs clean
+.PHONY: all build test check bench bench-smoke bench-linalg bench-shard shard-smoke repro examples figures docs clean
 
 all: build
 
@@ -20,7 +20,25 @@ check:
 	dune runtest
 	dune exec bin/analyze.exe -- -c cpu-flops --stats --show summary
 	dune exec bin/analyze.exe -- explain --smoke
+	$(MAKE) shard-smoke
 	$(MAKE) bench-smoke
+
+# Sharded execution must be byte-identical to the monolithic run —
+# both in-process (--shards) and through serialized shard artifacts
+# (shard ... | merge).  cmp, not diff: byte-identical is the contract.
+shard-smoke:
+	dune exec bin/analyze.exe -- -c branch --show summary,chosen,metrics \
+	  > /tmp/shard_smoke_mono.txt
+	dune exec bin/analyze.exe -- -c branch --shards 2 --show summary,chosen,metrics \
+	  > /tmp/shard_smoke_inproc.txt
+	cmp /tmp/shard_smoke_mono.txt /tmp/shard_smoke_inproc.txt
+	dune exec bin/analyze.exe -- shard branch --index 0 --shards 2 -o /tmp/shard_smoke_0.json
+	dune exec bin/analyze.exe -- shard branch --index 1 --shards 2 -o /tmp/shard_smoke_1.json
+	dune exec bin/analyze.exe -- merge /tmp/shard_smoke_0.json /tmp/shard_smoke_1.json \
+	  --show summary,chosen,metrics > /tmp/shard_smoke_merged.txt
+	cmp /tmp/shard_smoke_mono.txt /tmp/shard_smoke_merged.txt
+	dune exec bench/shard_bench.exe -- --smoke --out /tmp/BENCH_shard_smoke.json
+	dune exec bench/shard_bench.exe -- --check /tmp/BENCH_shard_smoke.json
 
 # Full reproduction: every table and figure, plus stage timings.
 bench:
@@ -37,6 +55,12 @@ bench-smoke:
 bench-linalg:
 	dune exec bench/linalg_scale.exe -- --out bench/BENCH_linalg.json \
 	  --baseline bench/BENCH_linalg_baseline.json
+
+# Sharded-noise-filter profile (time + peak live heap words per shard
+# count); refreshes bench/BENCH_shard.json.
+bench-shard:
+	dune exec bench/shard_bench.exe -- --out bench/BENCH_shard.json
+	dune exec bench/shard_bench.exe -- --check bench/BENCH_shard.json
 
 # Machine-checked reproduction scorecard (non-zero exit on any failure).
 repro:

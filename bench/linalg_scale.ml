@@ -106,14 +106,14 @@ let run_scale ~reps ~rows ~cols =
 (* ------------------------------------------------------------------ *)
 
 let json_of_result r =
-  Core.Json.Obj
+  Jsonio.Obj
     [
-      ("rows", Core.Json.Num (float_of_int r.rows));
-      ("cols", Core.Json.Num (float_of_int r.cols));
-      ("reps", Core.Json.Num (float_of_int r.reps));
-      ("qrcp_ms", Core.Json.Num r.qrcp_ms);
-      ("lstsq_ms", Core.Json.Num r.lstsq_ms);
-      ("qrcp_rank", Core.Json.Num (float_of_int r.qrcp_rank));
+      ("rows", Jsonio.Num (float_of_int r.rows));
+      ("cols", Jsonio.Num (float_of_int r.cols));
+      ("reps", Jsonio.Num (float_of_int r.reps));
+      ("qrcp_ms", Jsonio.Num r.qrcp_ms);
+      ("lstsq_ms", Jsonio.Num r.lstsq_ms);
+      ("qrcp_rank", Jsonio.Num (float_of_int r.qrcp_rank));
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -368,30 +368,30 @@ let () =
             let s = base /. r.qrcp_ms in
             Printf.printf "%dx%-6d qrcp speedup vs baseline: %.2fx\n%!" r.rows r.cols s;
             Some
-              (Core.Json.Obj
+              (Jsonio.Obj
                  [
-                   ("rows", Core.Json.Num (float_of_int r.rows));
-                   ("cols", Core.Json.Num (float_of_int r.cols));
-                   ("baseline_qrcp_ms", Core.Json.Num base);
-                   ("qrcp_ms", Core.Json.Num r.qrcp_ms);
-                   ("qrcp_speedup", Core.Json.Num s);
+                   ("rows", Jsonio.Num (float_of_int r.rows));
+                   ("cols", Jsonio.Num (float_of_int r.cols));
+                   ("baseline_qrcp_ms", Jsonio.Num base);
+                   ("qrcp_ms", Jsonio.Num r.qrcp_ms);
+                   ("qrcp_speedup", Jsonio.Num s);
                  ])
           | _ -> None)
         results
   in
   let doc =
-    Core.Json.Obj
+    Jsonio.Obj
       ([
-         ("storage", Core.Json.Str storage_label);
-         ("smoke", Core.Json.Bool !smoke);
+         ("storage", Jsonio.Str storage_label);
+         ("smoke", Jsonio.Bool !smoke);
          ("spans_recorded",
-          Core.Json.Num (float_of_int (List.length (Obs.Memory.span_ends mem))));
-         ("scales", Core.Json.List (List.map json_of_result results));
+          Jsonio.Num (float_of_int (List.length (Obs.Memory.span_ends mem))));
+         ("scales", Jsonio.List (List.map json_of_result results));
        ]
-      @ if speedups = [] then [] else [ ("qrcp_speedup_vs_baseline", Core.Json.List speedups) ])
+      @ if speedups = [] then [] else [ ("qrcp_speedup_vs_baseline", Jsonio.List speedups) ])
   in
   let oc = open_out !out in
-  output_string oc (Core.Json.to_string doc);
+  output_string oc (Jsonio.to_string doc);
   output_string oc "\n";
   close_out oc;
   (* The file must round-trip through the validator: emitting a

@@ -1,0 +1,213 @@
+(* Sharded-noise-filter benchmark: the memory/time profile of the
+   staged pipeline's front half as the shard count grows.
+
+   For each shard count the benchmark runs collection + noise
+   filtering shard by shard (datasets dropped as soon as they are
+   classified, as a real campaign driver would), then merges and runs
+   the downstream stages.  It records wall time per phase and the
+   peak live heap words across the front half — the figure sharding
+   is meant to shrink: only one shard's measurement vectors need to
+   be resident at a time, while the retained classified entries are a
+   per-event summary (mean vector + verdict), an order of magnitude
+   smaller than the repetition data.
+
+   Every run is self-validating: chosen events must be bit-identical
+   to the monolithic reference for each shard count.
+
+   Usage:
+     shard_bench [--smoke] [--out FILE] [--check FILE]
+
+   [--smoke] runs only shard counts 1 and 2 on the branch category
+   (the [make check] entry point).  [--check FILE] validates FILE as
+   BENCH_shard JSON and exits; it runs no benchmark. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type sample = {
+  category : string;
+  shards : int;
+  front_ms : float;  (* collection + classification, all shards *)
+  merge_ms : float;  (* merge + downstream stages *)
+  baseline_live_words : int;  (* heap before the front half *)
+  peak_live_words : int;  (* across the front half *)
+  chosen : int;
+}
+
+let ms_between t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e6
+
+let live_words () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words
+
+let run_one ~category ~shards =
+  let config = Core.Stage.default_config category in
+  let ranges =
+    Core.Stage.shard_ranges ~shards
+      ~total:(Core.Category.catalog_size category)
+  in
+  let baseline = live_words () in
+  let peak = ref baseline in
+  let t0 = Obs.Clock.now_ns () in
+  let classified =
+    List.map
+      (fun range ->
+        let ds = Core.Stage.collect_shard ~reps:config.reps category range in
+        let s = Core.Stage.classify_shard ~config ~category ds in
+        (* [ds] is dead here; what stays live is the artifact. *)
+        let live = live_words () in
+        if live > !peak then peak := live;
+        s)
+      ranges
+  in
+  let t1 = Obs.Clock.now_ns () in
+  let r = Core.Stage.run_merged ~category classified in
+  let t2 = Obs.Clock.now_ns () in
+  Obs.gauge "shard.peak_live_words" (float_of_int !peak);
+  ( {
+      category = Core.Category.name category;
+      shards;
+      front_ms = ms_between t0 t1;
+      merge_ms = ms_between t1 t2;
+      baseline_live_words = baseline;
+      peak_live_words = !peak;
+      chosen = Array.length r.chosen_names;
+    },
+    r.chosen_names )
+
+(* Self-validation compares every shard count against the shards=1
+   run of the same staged path (the test suite pins that path
+   bit-identical to the monolithic Pipeline.run; re-running the
+   monolithic driver here would pin its memoized whole-catalog
+   dataset in the heap and flatten the peak-live-words comparison). *)
+let bench ~categories ~shard_counts =
+  List.concat_map
+    (fun category ->
+      let reference = ref [||] in
+      List.map
+        (fun shards ->
+          let sample, chosen = run_one ~category ~shards in
+          if !reference = [||] then reference := chosen
+          else if chosen <> !reference then begin
+            Printf.eprintf
+              "shard_bench: %s with %d shards chose different events than \
+               the single-shard run\n"
+              (Core.Category.name category) shards;
+            exit 1
+          end;
+          sample)
+        shard_counts)
+    categories
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json s =
+  Jsonio.Obj
+    [
+      ("category", Jsonio.Str s.category);
+      ("shards", Jsonio.Num (float_of_int s.shards));
+      ("front_ms", Jsonio.Num s.front_ms);
+      ("merge_ms", Jsonio.Num s.merge_ms);
+      ("baseline_live_words", Jsonio.Num (float_of_int s.baseline_live_words));
+      ("peak_live_words", Jsonio.Num (float_of_int s.peak_live_words));
+      ("chosen", Jsonio.Num (float_of_int s.chosen));
+    ]
+
+let doc_json ~smoke samples =
+  Jsonio.Obj
+    [
+      ("benchmark", Jsonio.Str "sharded-noise-filter");
+      ("smoke", Jsonio.Bool smoke);
+      ("samples", Jsonio.List (List.map sample_json samples));
+    ]
+
+let check_file path =
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let* json = Jsonio.of_string text in
+  let* () =
+    match Jsonio.member "benchmark" json with
+    | Some (Jsonio.Str "sharded-noise-filter") -> Ok ()
+    | _ -> Error "missing or wrong \"benchmark\" field"
+  in
+  let* samples =
+    match Option.bind (Jsonio.member "samples" json) Jsonio.to_list_opt with
+    | Some l -> Ok l
+    | None -> Error "missing \"samples\" list"
+  in
+  if samples = [] then Error "empty \"samples\" list"
+  else
+    let field_ok name s =
+      match Option.bind (Jsonio.member name s) Jsonio.to_float_opt with
+      | Some v -> Float.is_finite v && v >= 0.0
+      | None -> false
+    in
+    if
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun f -> field_ok f s)
+            [ "shards"; "front_ms"; "merge_ms"; "peak_live_words"; "chosen" ])
+        samples
+    then Ok (List.length samples)
+    else Error "a sample is missing a numeric field"
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_shard.json" in
+  let check = ref "" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " shard counts 1-2, branch only");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_shard.json)");
+      ( "--check",
+        Arg.Set_string check,
+        "FILE validate FILE as BENCH_shard JSON and exit" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "shard_bench [--smoke] [--out FILE] [--check FILE]";
+  if !check <> "" then begin
+    match check_file !check with
+    | Ok n ->
+      Printf.printf "shard_bench --check: %s ok (%d samples)\n" !check n
+    | Error msg ->
+      Printf.eprintf "shard_bench --check: %s: %s\n" !check msg;
+      exit 1
+  end
+  else begin
+    let categories, shard_counts =
+      if !smoke then ([ Core.Category.Branch ], [ 1; 2 ])
+      else
+        ( [ Core.Category.Branch; Core.Category.Dcache ],
+          [ 1; 2; 4; 8 ] )
+    in
+    let samples = bench ~categories ~shard_counts in
+    List.iter
+      (fun s ->
+        Printf.printf
+          "%-8s shards=%d  front %7.1f ms  merge+downstream %6.1f ms  peak \
+           %9d words (+%d over baseline)\n"
+          s.category s.shards s.front_ms s.merge_ms s.peak_live_words
+          (s.peak_live_words - s.baseline_live_words))
+      samples;
+    let oc = open_out_bin !out in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Jsonio.to_string (doc_json ~smoke:!smoke samples));
+        output_char oc '\n');
+    Printf.eprintf "results written to %s\n" !out
+  end

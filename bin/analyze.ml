@@ -65,14 +65,52 @@ let stats_flag =
              accept/reject, QRCP pivots, simulated readings)." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let shards_flag =
+  let doc = "Split data collection and noise filtering into $(docv) \
+             catalog-range shards (merged deterministically before \
+             projection).  Outputs are bit-identical for every shard \
+             count; the default 1 is the monolithic reference path." in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections
-    category =
+let write_file ~what path text =
+  if path = "-" then print_string text
+  else begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text);
+    Printf.eprintf "%s written to %s\n" what path
+  end
+
+let config_of ~tau ~alpha ~proj_tol ~reps category =
+  let default = Core.Pipeline.default_config category in
+  {
+    Core.Pipeline.tau = Option.value tau ~default:default.Core.Pipeline.tau;
+    alpha = Option.value alpha ~default:default.Core.Pipeline.alpha;
+    projection_tol =
+      Option.value proj_tol ~default:default.Core.Pipeline.projection_tol;
+    reps;
+  }
+
+let print_sections ~sections category (r : Core.Pipeline.result) =
+  let wants s = List.mem s sections || List.mem "all" sections in
+  if wants "summary" then print_string (Core.Report.filter_summary r);
+  if wants "fig2" then print_string (Core.Report.fig2_text r);
+  if wants "signatures" then print_string (Core.Report.signature_table category);
+  if wants "chosen" then print_string (Core.Report.chosen_events r);
+  if wants "trace" then print_string (Core.Report.qrcp_trace r);
+  if wants "metrics" then print_string (Core.Report.metric_table r);
+  if wants "fig3" && category = Core.Category.Dcache then
+    print_string (Core.Report.fig3_text r)
+
+let run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
+    ~sections category =
   let tau =
     match auto_tau with
     | None -> tau
@@ -84,16 +122,7 @@ let run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections
         s.Core.Auto_threshold.below;
       Some s.Core.Auto_threshold.tau
   in
-  let default = Core.Pipeline.default_config category in
-  let config =
-    {
-      Core.Pipeline.tau = Option.value tau ~default:default.Core.Pipeline.tau;
-      alpha = Option.value alpha ~default:default.Core.Pipeline.alpha;
-      projection_tol =
-        Option.value proj_tol ~default:default.Core.Pipeline.projection_tol;
-      reps;
-    }
-  in
+  let config = config_of ~tau ~alpha ~proj_tol ~reps category in
   (* Counters restart per category so --stats matches this category's
      filter summary exactly (auto-tau probing above is excluded). *)
   Option.iter
@@ -103,7 +132,7 @@ let run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections
     summary;
   let r =
     match csv with
-    | None -> Core.Pipeline.run ~config category
+    | None -> Core.Pipeline.run ~config ~shards category
     | Some path ->
       let dataset =
         Cat_bench.Dataset.of_reps_csv
@@ -114,15 +143,7 @@ let run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections
         ~basis:(Core.Category.basis category)
         ~signatures:(Core.Category.signatures category) ()
   in
-  let wants s = List.mem s sections || List.mem "all" sections in
-  if wants "summary" then print_string (Core.Report.filter_summary r);
-  if wants "fig2" then print_string (Core.Report.fig2_text r);
-  if wants "signatures" then print_string (Core.Report.signature_table category);
-  if wants "chosen" then print_string (Core.Report.chosen_events r);
-  if wants "trace" then print_string (Core.Report.qrcp_trace r);
-  if wants "metrics" then print_string (Core.Report.metric_table r);
-  if wants "fig3" && category = Core.Category.Dcache then
-    print_string (Core.Report.fig3_text r);
+  print_sections ~sections category r;
   Option.iter
     (fun s ->
       Printf.printf "Stage stats for %s:\n%s" (Core.Category.name category)
@@ -130,8 +151,18 @@ let run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections
     summary;
   print_newline ()
 
-let main category tau alpha proj_tol reps sections csv auto_tau trace stats =
+let main category tau alpha proj_tol reps sections csv auto_tau trace stats
+    shards =
   let sections = String.split_on_char ',' sections |> List.map String.trim in
+  if shards < 1 then begin
+    prerr_endline "analyze: --shards must be at least 1";
+    exit 2
+  end;
+  if shards > 1 && csv <> None then begin
+    (* A CSV import is a finished dataset, not a collection to split. *)
+    prerr_endline "analyze: --shards does not apply to --csv datasets";
+    exit 2
+  end;
   let chrome =
     Option.map
       (fun _ ->
@@ -153,12 +184,15 @@ let main category tau alpha proj_tol reps sections csv auto_tau trace stats =
     prerr_endline "analyze: --csv requires --category";
     exit 2
   | Some _, Some c ->
-    run_category ?csv ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections c
+    run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
+      ~sections c
   | None, Some c ->
-    run_category ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections c
+    run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
+      ~sections c
   | None, None ->
     List.iter
-      (run_category ?auto_tau ?summary ~tau ~alpha ~proj_tol ~reps ~sections)
+      (run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
+         ~sections)
       Core.Category.all);
   match (trace, chrome) with
   | Some path, Some c -> (
@@ -202,34 +236,37 @@ let explain_smoke =
   let doc = "Self-check mode (used by 'make check'): for each category \
              (or the one given), explain one chosen and one discarded \
              event and fail if any chain is empty or names an unknown \
-             stage." in
+             stage; then repeat on a shard-assembled (--shards 2) run \
+             to pin that explain is transparent to sharding." in
   Arg.(value & flag & info [ "smoke" ] ~doc)
 
-let ledger_for category =
+let ledger_for ?(shards = 1) category =
   (* Record during the run so the CLI exercises the emission path (the
      rebuild path is the fallback for results produced without
      recording). *)
   Provenance.set_recording true;
-  let r = Core.Pipeline.run category in
+  let r = Core.Pipeline.run ~shards category in
   Provenance.set_recording false;
   (r, Core.Pipeline.ledger r)
 
 let write_json path ledger =
-  let text =
-    Core.Json.to_string (Provenance.Ledger.to_json ledger) ^ "\n"
-  in
-  if path = "-" then print_string text
-  else begin
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc text);
-    Printf.eprintf "ledger written to %s\n" path
-  end
+  write_file ~what:"ledger" path
+    (Jsonio.to_string (Provenance.Ledger.to_json ledger) ^ "\n")
 
-let smoke_category category =
+let smoke_category ?(shards = 1) category =
   let module L = Provenance.Ledger in
-  let _, ledger = ledger_for category in
+  let _, ledger = ledger_for ~shards category in
+  (* Every entry must resolve to exactly one terminal fate — on
+     shard-assembled ledgers just like monolithic ones. *)
+  List.iter
+    (fun e ->
+      match L.fate_checked e with
+      | Ok _ -> ()
+      | Error msg ->
+        Printf.eprintf "explain smoke: %s (shards=%d): %s: %s\n"
+          (Core.Category.name category) shards e.L.event msg;
+        exit 1)
+    ledger.L.entries;
   (match L.validate ledger with
   | Ok () -> ()
   | Error msg ->
@@ -268,14 +305,18 @@ let smoke_category category =
   check "chosen" chosen;
   check "discarded" discarded
 
-let explain_main category event all fate json smoke =
+let explain_main category event all fate json smoke shards =
   let module L = Provenance.Ledger in
   if smoke then begin
     let categories =
       match category with Some c -> [ c ] | None -> Core.Category.all
     in
     List.iter smoke_category categories;
-    Printf.printf "explain smoke ok (%d categories)\n" (List.length categories)
+    (* Same checks on shard-assembled ledgers: explain must be
+       transparent to how the classified catalog was put together. *)
+    List.iter (smoke_category ~shards:2) categories;
+    Printf.printf "explain smoke ok (%d categories, monolithic and sharded)\n"
+      (List.length categories)
   end
   else begin
     let category =
@@ -296,7 +337,11 @@ let explain_main category event all fate json smoke =
           Printf.eprintf "analyze explain: unknown fate %S\n" name;
           exit 2)
     in
-    let _, ledger = ledger_for category in
+    if shards < 1 then begin
+      prerr_endline "analyze explain: --shards must be at least 1";
+      exit 2
+    end;
+    let _, ledger = ledger_for ~shards category in
     Option.iter (fun path -> write_json path ledger) json;
     (match (event, all) with
     | Some name, _ -> (
@@ -345,11 +390,178 @@ let explain_cmd =
          JSON; ledgers from disjoint event ranges can later be merged.";
     ]
   in
+  let explain_shards =
+    let doc = "Assemble the ledger from $(docv) catalog-range shards \
+               instead of one monolithic run (the resulting ledger is \
+               bit-identical; this exercises the sharded path)." in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "explain" ~doc ~man)
     Term.(
       const explain_main $ explain_category $ explain_event $ explain_all
-      $ explain_fate $ explain_json $ explain_smoke)
+      $ explain_fate $ explain_json $ explain_smoke $ explain_shards)
+
+(* ------------------------------------------------------------------ *)
+(* shard / merge: the serialized staged pipeline                       *)
+(* ------------------------------------------------------------------ *)
+
+let shard_main category index shards out tau alpha proj_tol reps =
+  let category =
+    match category with
+    | Some c -> c
+    | None ->
+      prerr_endline "analyze shard: a CATEGORY is required";
+      exit 2
+  in
+  if shards < 1 then begin
+    prerr_endline "analyze shard: --shards must be at least 1";
+    exit 2
+  end;
+  if index < 0 || index >= shards then begin
+    Printf.eprintf "analyze shard: --index %d outside 0..%d\n" index
+      (shards - 1);
+    exit 2
+  end;
+  let config = config_of ~tau ~alpha ~proj_tol ~reps category in
+  let total = Core.Category.catalog_size category in
+  let range = List.nth (Core.Stage.shard_ranges ~shards ~total) index in
+  let artifact =
+    Core.Stage.classify_shard ~config ~category
+      (Core.Stage.collect_shard ~reps:config.Core.Pipeline.reps category range)
+  in
+  (* Campaign accounting for this shard: cutting the full-catalog
+     measurement plan at the same group boundaries shows what the
+     shard actually costs on a real 8-counter machine. *)
+  let plan = Hwsim.Session.plan ~counters:8 (Core.Category.events category) in
+  let sub = Hwsim.Session.restrict plan ~lo:range.Core.Stage.lo ~hi:range.Core.Stage.hi in
+  Printf.eprintf
+    "shard %d/%d of %s: events %s, %d counter groups (of %d), %d benchmark \
+     runs\n"
+    index shards
+    (Core.Category.name category)
+    (Core.Stage.range_pp range)
+    (Hwsim.Session.group_count sub)
+    (Hwsim.Session.group_count plan)
+    (Hwsim.Session.runs_needed sub ~reps:config.Core.Pipeline.reps);
+  write_file ~what:"shard artifact" out
+    (Jsonio.to_string (Core.Stage.shard_to_json artifact) ^ "\n")
+
+let shard_cmd =
+  let doc =
+    "Collect and noise-filter one catalog-range shard, writing the \
+     classified-shard artifact as JSON"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs only the shardable front half of the pipeline — data \
+         collection and the noise filter — for the $(b,--index)-th of \
+         $(b,--shards) contiguous catalog ranges, and serializes the \
+         result.  'analyze merge' reassembles the artifacts and runs the \
+         downstream stages; the final outputs are bit-identical to a \
+         monolithic 'analyze' run.";
+    ]
+  in
+  let index =
+    let doc = "Which shard to produce (0-based, < $(b,--shards))." in
+    Arg.(value & opt int 0 & info [ "index" ] ~docv:"I" ~doc)
+  in
+  let shards =
+    let doc = "Total number of catalog-range shards." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Output file for the artifact ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "shard" ~doc ~man)
+    Term.(
+      const shard_main $ explain_category $ index $ shards $ out $ tau $ alpha
+      $ proj_tol $ reps)
+
+let merge_main files sections json =
+  let sections = String.split_on_char ',' sections |> List.map String.trim in
+  if files = [] then begin
+    prerr_endline "analyze merge: give the shard artifact FILEs to merge";
+    exit 2
+  end;
+  let shards =
+    List.map
+      (fun path ->
+        let text = try read_file path with Sys_error msg ->
+          Printf.eprintf "analyze merge: %s\n" msg;
+          exit 1
+        in
+        match Jsonio.of_string text with
+        | Error msg ->
+          Printf.eprintf "analyze merge: %s: not JSON: %s\n" path msg;
+          exit 1
+        | Ok j -> (
+          match Core.Stage.shard_of_json j with
+          | Error msg ->
+            Printf.eprintf "analyze merge: %s: %s\n" path msg;
+            exit 1
+          | Ok s -> s))
+      files
+  in
+  let category =
+    match shards with
+    | [] -> assert false
+    | s :: _ -> (
+      try Core.Category.of_name s.Core.Stage.category
+      with Invalid_argument _ ->
+        Printf.eprintf "analyze merge: unknown category %S in %s\n"
+          s.Core.Stage.category (List.hd files);
+        exit 1)
+  in
+  Provenance.set_recording true;
+  let r =
+    try Core.Stage.run_merged ~category shards
+    with Invalid_argument msg ->
+      Provenance.set_recording false;
+      Printf.eprintf "analyze merge: %s\n" msg;
+      exit 1
+  in
+  Provenance.set_recording false;
+  print_sections ~sections category r;
+  (* Same trailing newline as the default runner, so a merged run's
+     output is byte-comparable against a monolithic one. *)
+  print_newline ();
+  Option.iter (fun path -> write_json path (Core.Pipeline.ledger r)) json
+
+let merge_cmd =
+  let doc =
+    "Merge classified-shard artifacts and run the downstream pipeline \
+     stages on the reassembled catalog"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Validates the shard set (matching category, machine and \
+         thresholds; contiguous gap- and overlap-free coverage of the \
+         catalog; unique event names), concatenates the classified events \
+         in catalog order, and runs projection, the specialized QRCP and \
+         the metric solve.  Output sections and the provenance ledger are \
+         bit-identical to a monolithic 'analyze' run of the same \
+         category.";
+    ]
+  in
+  let files =
+    let doc = "Shard artifact files produced by 'analyze shard'." in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let json =
+    let doc = "Export the merged run's provenance ledger as versioned JSON \
+               to $(docv) ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc ~man)
+    Term.(const merge_main $ files $ sections $ json)
 
 let cmd =
   let doc =
@@ -360,8 +572,8 @@ let cmd =
   let default =
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
-      $ csv_file $ auto_tau $ trace_file $ stats_flag)
+      $ csv_file $ auto_tau $ trace_file $ stats_flag $ shards_flag)
   in
-  Cmd.group ~default info [ explain_cmd ]
+  Cmd.group ~default info [ explain_cmd; shard_cmd; merge_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -54,11 +54,11 @@ let () =
      --json` CLI path); shards over disjoint event ranges merge back
      losslessly, so a sharded catalog sweep still yields one audit
      trail. *)
-  let json = Core.Json.to_string (Ledger.to_json ledger) in
+  let json = Jsonio.to_string (Ledger.to_json ledger) in
   Printf.printf "\nJSON export: %d bytes (schema version %d)\n"
     (String.length json) Ledger.schema_version;
   let reimported =
-    match Core.Json.of_string json with
+    match Jsonio.of_string json with
     | Ok j -> (
       match Ledger.of_json j with
       | Ok l -> l

@@ -12,12 +12,32 @@ type t = {
 
 let default_reps = 5
 
-let of_activities ~name ~seed ~reps ~events ~rows ~row_labels =
+let slice_events ~ctx ~lo ~hi events =
+  let n = List.length events in
+  if lo < 0 || hi < lo || hi > n then
+    invalid_arg
+      (Printf.sprintf "%s: bad event range [%d,%d) of a %d-event catalog" ctx
+         lo hi n);
+  List.filteri (fun i _ -> i >= lo && i < hi) events
+
+let range_name base ~lo ~hi = Printf.sprintf "%s[%d,%d)" base lo hi
+
+(* One reading is derived from (seed, event name, repetition, row) —
+   see Hwsim.Machine — so measuring only the events in [lo, hi) yields
+   bit-identical vectors to the whole-catalog build: the shard is a
+   restriction, never a re-randomization. *)
+let of_activities_range ~name ~seed ~reps ~events ~lo ~hi ~rows ~row_labels =
   if Array.length rows <> Array.length row_labels then
-    invalid_arg "Dataset.of_activities: rows/labels mismatch";
+    invalid_arg "Dataset.of_activities_range: rows/labels mismatch";
+  let total = List.length events in
+  let events = slice_events ~ctx:"Dataset.of_activities_range" ~lo ~hi events in
   Obs.span "dataset-build" (fun () ->
       Obs.attr_str "dataset" name;
       Obs.attr_int "reps" reps;
+      if lo <> 0 || hi <> total then begin
+        Obs.attr_int "lo" lo;
+        Obs.attr_int "hi" hi
+      end;
       let measurements =
         List.map
           (fun event ->
@@ -29,6 +49,11 @@ let of_activities ~name ~seed ~reps ~events ~rows ~row_labels =
           events
       in
       { name; row_labels; reps; measurements })
+
+(* Compatibility wrapper: the whole catalog is the full range. *)
+let of_activities ~name ~seed ~reps ~events ~rows ~row_labels =
+  of_activities_range ~name ~seed ~reps ~events ~lo:0
+    ~hi:(List.length events) ~rows ~row_labels
 
 let memo f =
   (* Datasets at default repetitions are deterministic: build once. *)
@@ -68,19 +93,77 @@ let zen_flops =
         ~events:Hwsim.Catalog_zen.events ~rows:Flops_kernels.rows
         ~row_labels:Flops_kernels.row_labels)
 
-let dcache_build ~reduce ~reps =
+(* Range variants of the four catalog-wide builders: measure only the
+   events at catalog positions [lo, hi).  Same seeds, same rows — a
+   shard's vectors are bit-identical to the corresponding slice of the
+   whole-catalog dataset. *)
+
+let cpu_flops_range ?(reps = default_reps) ~lo ~hi () =
+  of_activities_range
+    ~name:(range_name "cpu-flops" ~lo ~hi)
+    ~seed:"cat-cpu-flops" ~reps ~events:Hwsim.Catalog_sapphire_rapids.events
+    ~lo ~hi ~rows:Flops_kernels.rows ~row_labels:Flops_kernels.row_labels
+
+let branch_range ?(reps = default_reps) ~lo ~hi () =
+  of_activities_range
+    ~name:(range_name "branch" ~lo ~hi)
+    ~seed:"cat-branch" ~reps ~events:Hwsim.Catalog_sapphire_rapids.events ~lo
+    ~hi ~rows:Branch_kernels.rows ~row_labels:Branch_kernels.row_labels
+
+let gpu_flops_range ?(reps = default_reps) ~lo ~hi () =
+  of_activities_range
+    ~name:(range_name "gpu-flops" ~lo ~hi)
+    ~seed:"cat-gpu-flops" ~reps ~events:Hwsim.Catalog_mi250x.events ~lo ~hi
+    ~rows:Gpu_kernels.rows ~row_labels:Gpu_kernels.row_labels
+
+let zen_flops_range ?(reps = default_reps) ~lo ~hi () =
+  of_activities_range
+    ~name:(range_name "zen-flops" ~lo ~hi)
+    ~seed:"cat-zen-flops" ~reps ~events:Hwsim.Catalog_zen.events ~lo ~hi
+    ~rows:Flops_kernels.rows ~row_labels:Flops_kernels.row_labels
+
+(* The thread activities are a function of (kernel config, rep,
+   thread) only — independent of which events a build measures — so
+   shards of the same campaign can share one generation.  Cached at
+   the last repetition count (shard sweeps hit the same count N
+   times in a row). *)
+let dcache_activities =
+  let cache = ref None in
+  fun ~reps ->
+    match !cache with
+    | Some (r, a) when r = reps -> a
+    | _ ->
+      let configs = Array.of_list Cache_kernels.configs in
+      let a =
+        Array.init reps (fun rep ->
+            Array.init (Array.length configs) (fun row ->
+                Array.init Cache_kernels.threads (fun thread ->
+                    Cache_kernels.thread_activity configs.(row) ~rep ~thread)))
+      in
+      cache := Some (reps, a);
+      a
+
+let dcache_build ?(lo = 0) ?hi ~reduce ~reps () =
+  let total = List.length Hwsim.Catalog_sapphire_rapids.events in
+  let hi = Option.value hi ~default:total in
+  let events =
+    slice_events ~ctx:"Dataset.dcache_range" ~lo ~hi
+      Hwsim.Catalog_sapphire_rapids.events
+  in
+  let name =
+    if lo = 0 && hi = total then "dcache" else range_name "dcache" ~lo ~hi
+  in
   Obs.span "dataset-build" @@ fun () ->
-  Obs.attr_str "dataset" "dcache";
+  Obs.attr_str "dataset" name;
   Obs.attr_int "reps" reps;
+  if lo <> 0 || hi <> total then begin
+    Obs.attr_int "lo" lo;
+    Obs.attr_int "hi" hi
+  end;
   let configs = Array.of_list Cache_kernels.configs in
   let nrows = Array.length configs in
   (* activities.(rep).(row).(thread) *)
-  let activities =
-    Array.init reps (fun rep ->
-        Array.init nrows (fun row ->
-            Array.init Cache_kernels.threads (fun thread ->
-                Cache_kernels.thread_activity configs.(row) ~rep ~thread)))
-  in
+  let activities = dcache_activities ~reps in
   let seed = "cat-dcache" in
   let reduce_thread_readings readings =
     match reduce with
@@ -109,18 +192,21 @@ let dcache_build ~reduce ~reps =
             (float_of_int (reps * nrows))
         end;
         { event; reps = List.init reps (fun rep -> measure_rep event rep) })
-      Hwsim.Catalog_sapphire_rapids.events
+      events
   in
   {
-    name = "dcache";
+    name;
     row_labels = Cache_kernels.row_labels;
     reps;
     measurements;
   }
 
-let dcache = memo (fun ~reps -> dcache_build ~reduce:`Median ~reps)
+let dcache = memo (fun ~reps -> dcache_build ~reduce:`Median ~reps ())
 
-let dcache_reduced ?(reps = default_reps) reduce = dcache_build ~reduce ~reps
+let dcache_range ?(reps = default_reps) ~lo ~hi () =
+  dcache_build ~lo ~hi ~reduce:`Median ~reps ()
+
+let dcache_reduced ?(reps = default_reps) reduce = dcache_build ~reduce ~reps ()
 
 let find t name =
   List.find (fun (m : measurement) -> m.event.Hwsim.Event.name = name) t.measurements

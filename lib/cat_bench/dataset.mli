@@ -21,11 +21,23 @@ type t = {
 val default_reps : int
 (** 5 repetitions, as a CAT campaign would use. *)
 
+val of_activities_range :
+  name:string -> seed:string -> reps:int -> events:Hwsim.Event.t list ->
+  lo:int -> hi:int -> rows:Hwsim.Activity.t array ->
+  row_labels:string array -> t
+(** Range-based collection, the primitive behind catalog sharding:
+    measure only the events at catalog positions [lo, hi) (0-based,
+    half-open) over every row, [reps] times, with noise streams
+    derived from [seed].  Because a reading's noise stream is keyed by
+    [(seed, event name, rep, row)], the shard's vectors are
+    bit-identical to the corresponding slice of the whole-catalog
+    dataset.  Raises [Invalid_argument] on an out-of-bounds range. *)
+
 val of_activities :
   name:string -> seed:string -> reps:int -> events:Hwsim.Event.t list ->
   rows:Hwsim.Activity.t array -> row_labels:string array -> t
-(** Generic collection: measure every event over every row, [reps]
-    times, with noise streams derived from [seed]. *)
+(** Whole-catalog collection: {!of_activities_range} over the full
+    range (kept as the compatibility entry point). *)
 
 val cpu_flops : ?reps:int -> unit -> t
 (** CPU-FLOPs benchmark on the Sapphire Rapids catalog (48 rows). *)
@@ -45,6 +57,24 @@ val dcache : ?reps:int -> unit -> t
 (** Data-cache benchmark on the Sapphire Rapids catalog (16 rows).
     Each repetition's vector entry is the {e median} across the 8
     measuring threads, the noise-suppression step of Section IV. *)
+
+(** {2 Shard collection}
+
+    One builder per benchmark, measuring only the catalog events at
+    positions [lo, hi).  These are what {!Core.Stage.collect_shard}
+    drives; each produces vectors bit-identical to the corresponding
+    slice of the whole-catalog dataset (same seeds, same rows). *)
+
+val cpu_flops_range : ?reps:int -> lo:int -> hi:int -> unit -> t
+val branch_range : ?reps:int -> lo:int -> hi:int -> unit -> t
+val gpu_flops_range : ?reps:int -> lo:int -> hi:int -> unit -> t
+val zen_flops_range : ?reps:int -> lo:int -> hi:int -> unit -> t
+
+val dcache_range : ?reps:int -> lo:int -> hi:int -> unit -> t
+(** Data-cache shard.  The per-thread kernel activities are shared
+    across shards of the same campaign (they depend only on kernel
+    config, repetition and thread), so sharding does not re-simulate
+    the benchmark differently. *)
 
 val dcache_reduced : ?reps:int -> [ `Median | `Mean ] -> t
 (** The data-cache benchmark with an explicit thread-reduction

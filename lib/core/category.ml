@@ -33,6 +33,18 @@ let dataset ?reps = function
   | Branch -> Cat_bench.Dataset.branch ?reps ()
   | Dcache -> Cat_bench.Dataset.dcache ?reps ()
 
+let events = function
+  | Cpu_flops | Branch | Dcache -> Hwsim.Catalog_sapphire_rapids.events
+  | Gpu_flops -> Hwsim.Catalog_mi250x.events
+
+let catalog_size c = List.length (events c)
+
+let dataset_range ?reps ~lo ~hi = function
+  | Cpu_flops -> Cat_bench.Dataset.cpu_flops_range ?reps ~lo ~hi ()
+  | Gpu_flops -> Cat_bench.Dataset.gpu_flops_range ?reps ~lo ~hi ()
+  | Branch -> Cat_bench.Dataset.branch_range ?reps ~lo ~hi ()
+  | Dcache -> Cat_bench.Dataset.dcache_range ?reps ~lo ~hi ()
+
 let ideals = function
   | Cpu_flops -> Cat_bench.Ideal.cpu_flops ()
   | Gpu_flops -> Cat_bench.Ideal.gpu_flops ()

@@ -30,6 +30,19 @@ val projection_tol : t -> float
 
 val dataset : ?reps:int -> t -> Cat_bench.Dataset.t
 
+val events : t -> Hwsim.Event.t list
+(** The category's event catalog, in catalog order (the order every
+    dataset, ledger and shard range refers to). *)
+
+val catalog_size : t -> int
+(** [List.length (events t)] — the [total] that shard ranges cover. *)
+
+val dataset_range : ?reps:int -> lo:int -> hi:int -> t -> Cat_bench.Dataset.t
+(** The category's dataset restricted to catalog positions [lo, hi):
+    bit-identical to the corresponding slice of {!dataset} (same
+    seeds, same benchmark rows).  Raises [Invalid_argument] on an
+    out-of-bounds range. *)
+
 val ideals : t -> Cat_bench.Ideal.ideal list
 
 val basis : t -> Expectation.t

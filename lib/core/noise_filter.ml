@@ -25,35 +25,24 @@ let provenance_status = function
   | Too_noisy -> Provenance.Ledger.Too_noisy
   | All_zero -> Provenance.Ledger.All_zero
 
-let classify ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
-  let classified =
-    List.map
-      (fun (m : Cat_bench.Dataset.measurement) ->
-        let mean = Linalg.Vec.of_array (Numkit.Stats.elementwise_mean m.reps) in
-        let every_rep_zero = List.for_all Numkit.Stats.all_zero m.reps in
-        let c =
-          if every_rep_zero then
-            (* Footnote 1: an event that never fires is irrelevant. *)
-            { event = m.event; variability = 0.0; mean; status = All_zero }
-          else begin
-            let variability = apply_measure measure m.reps in
-            (* Non-finite variability (NaN readings from a corrupt import)
-               must never classify as clean. *)
-            let status =
-              if variability > tau || not (Float.is_finite variability) then Too_noisy
-              else Kept
-            in
-            { event = m.event; variability; mean; status }
-          end
-        in
-        if Provenance.recording () then
-          Provenance.emit_noise ~event:m.event.Hwsim.Event.name
-            ~description:m.event.Hwsim.Event.description
-            ~measure:(measure_name measure) ~variability:c.variability ~tau
-            ~status:(provenance_status c.status);
-        c)
-      dataset.measurements
-  in
+let classify_measurement ~measure ~tau (m : Cat_bench.Dataset.measurement) =
+  let mean = Linalg.Vec.of_array (Numkit.Stats.elementwise_mean m.reps) in
+  let every_rep_zero = List.for_all Numkit.Stats.all_zero m.reps in
+  if every_rep_zero then
+    (* Footnote 1: an event that never fires is irrelevant. *)
+    { event = m.event; variability = 0.0; mean; status = All_zero }
+  else begin
+    let variability = apply_measure measure m.reps in
+    (* Non-finite variability (NaN readings from a corrupt import)
+       must never classify as clean. *)
+    let status =
+      if variability > tau || not (Float.is_finite variability) then Too_noisy
+      else Kept
+    in
+    { event = m.event; variability; mean; status }
+  end
+
+let publish_tallies classified =
   if Obs.enabled () then begin
     let tally status =
       float_of_int
@@ -62,7 +51,42 @@ let classify ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
     Obs.add "noise_filter.kept" (tally Kept);
     Obs.add "noise_filter.too_noisy" (tally Too_noisy);
     Obs.add "noise_filter.all_zero" (tally All_zero)
+  end
+
+let classify ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
+  let classified =
+    List.map
+      (fun (m : Cat_bench.Dataset.measurement) ->
+        let c = classify_measurement ~measure ~tau m in
+        if Provenance.recording () then
+          Provenance.emit_noise ~event:m.event.Hwsim.Event.name
+            ~description:m.event.Hwsim.Event.description
+            ~measure:(measure_name measure) ~variability:c.variability ~tau
+            ~status:(provenance_status c.status);
+        c)
+      dataset.measurements
+  in
+  publish_tallies classified;
+  classified
+
+(* Shard-local classification: same verdicts as [classify], but no
+   provenance emission — a shard may run in another process, so the
+   merge stage re-emits the noise facts from the shard artifacts in
+   catalog order (one emission path for in-process and serialized
+   shards alike).  The per-shard counters feed the sharding
+   observability story alongside the noise_filter.* totals, which sum
+   across shards to the monolithic values. *)
+let classify_shard ?(measure = Max_rnmse) ~tau (dataset : Cat_bench.Dataset.t) =
+  let classified =
+    List.map (classify_measurement ~measure ~tau) dataset.measurements
+  in
+  if Obs.enabled () then begin
+    Obs.add "shard.events" (float_of_int (List.length classified));
+    Obs.add "shard.kept"
+      (float_of_int
+         (List.length (List.filter (fun c -> c.status = Kept) classified)))
   end;
+  publish_tallies classified;
   classified
 
 let kept classified = List.filter (fun c -> c.status = Kept) classified

@@ -1,19 +1,17 @@
-type config = {
+(* A thin driver over the staged API (Stage): the monolithic path is
+   the bit-exact reference that sharded execution (Stage.run_sharded,
+   reached via [?shards]) is pinned against. *)
+
+type config = Stage.config = {
   tau : float;
   alpha : float;
   projection_tol : float;
   reps : int;
 }
 
-let default_config category =
-  {
-    tau = Category.tau category;
-    alpha = Category.alpha category;
-    projection_tol = Category.projection_tol category;
-    reps = Cat_bench.Dataset.default_reps;
-  }
+let default_config = Stage.default_config
 
-type result = {
+type result = Stage.result = {
   category : Category.t;
   config : config;
   basis : Expectation.t;
@@ -29,91 +27,34 @@ type result = {
   mutable ledger : Provenance.Ledger.t option;
 }
 
-let publish_ledger_counters (l : Provenance.Ledger.t) =
-  if Obs.enabled () then begin
-    let t = Provenance.Ledger.totals l in
-    let f = float_of_int in
-    Obs.add "ledger.events" (f t.events);
-    Obs.add "ledger.all_zero" (f t.all_zero);
-    Obs.add "ledger.noisy" (f t.noisy);
-    Obs.add "ledger.kept" (f t.kept);
-    Obs.add "ledger.unrepresentable" (f t.unrepresentable);
-    Obs.add "ledger.accepted" (f t.accepted);
-    Obs.add "ledger.eliminated" (f t.eliminated);
-    Obs.add "ledger.chosen" (f t.chosen)
-  end
-
 (* The stages downstream of data collection, shared by [run] (which
    opens the root span around its own dataset collection) and
    [run_custom] (which receives the dataset ready-made). *)
 let run_stages ~config ~category ~dataset ~basis ~signatures () =
   if Provenance.recording () then Provenance.begin_run ();
-  let classified =
-    Obs.span "noise-filter" (fun () -> Noise_filter.classify ~tau:config.tau dataset)
-  in
-  let projected, (x, x_names) =
-    Obs.span "projection" (fun () ->
-        let projected =
-          Projection.project ~tol:config.projection_tol basis
-            (Noise_filter.kept classified)
-        in
-        (projected, Projection.to_matrix projected))
-  in
-  let qr = Obs.span "qrcp" (fun () -> Special_qrcp.factor ~alpha:config.alpha x) in
-  let chosen = Array.sub qr.Special_qrcp.perm 0 qr.Special_qrcp.rank in
-  let chosen_names = Array.map (fun j -> x_names.(j)) chosen in
-  let xhat = Linalg.Mat.select_cols x chosen in
-  let metrics =
-    Obs.span "metric-solve" (fun () ->
-        Metric_solver.define_all ~xhat ~names:chosen_names ~basis signatures)
-  in
-  if Obs.enabled () then Obs.add "pipeline.metrics_defined" (float_of_int (List.length metrics));
-  let ledger =
-    if Provenance.recording () then begin
-      let l =
-        Provenance.finalize ~category:(Category.name category)
-          ~machine:(Category.machine category) ~tau:config.tau
-          ~alpha:config.alpha ~projection_tol:config.projection_tol
-          ~basis_labels:(Expectation.labels basis) ~column_names:x_names ()
-      in
-      publish_ledger_counters l;
-      Some l
-    end
-    else None
-  in
-  {
-    category;
-    config;
-    basis;
-    basis_diagnostics = Expectation.diagnostics basis;
-    classified;
-    projected;
-    x;
-    x_names;
-    chosen;
-    chosen_names;
-    xhat;
-    metrics;
-    ledger;
-  }
+  let classified = Stage.classify ~config dataset in
+  Stage.downstream ~config ~category ~basis ~signatures ~classified ()
 
 let run_custom ~config ~category ~dataset ~basis ~signatures () =
   Obs.span "pipeline" (fun () ->
       Obs.attr_str "category" (Category.name category);
       run_stages ~config ~category ~dataset ~basis ~signatures ())
 
-let run ?config category =
+let run ?config ?(shards = 1) category =
   let config =
     match config with Some c -> c | None -> default_config category
   in
-  Obs.span "pipeline" (fun () ->
-      Obs.attr_str "category" (Category.name category);
-      let dataset =
-        Obs.span "dataset-collect" (fun () ->
-            Category.dataset ~reps:config.reps category)
-      in
-      run_stages ~config ~category ~dataset ~basis:(Category.basis category)
-        ~signatures:(Category.signatures category) ())
+  if shards < 1 then invalid_arg "Pipeline.run: shards < 1"
+  else if shards > 1 then Stage.run_sharded ~config ~shards category
+  else
+    Obs.span "pipeline" (fun () ->
+        Obs.attr_str "category" (Category.name category);
+        let dataset =
+          Obs.span "dataset-collect" (fun () ->
+              Category.dataset ~reps:config.reps category)
+        in
+        run_stages ~config ~category ~dataset ~basis:(Category.basis category)
+          ~signatures:(Category.signatures category) ())
 
 let run_all () = List.map (fun c -> run c) Category.all
 

@@ -2,9 +2,14 @@
 
     dataset -> noise filter (τ) -> projection onto the expectation
     basis -> specialized QRCP (α) -> least-squares metric
-    definitions with backward errors. *)
+    definitions with backward errors.
 
-type config = {
+    This module is a thin driver over the staged API in {!Stage} —
+    the stages themselves (including the shard-by-event-range front
+    half and the serializable shard artifacts) live there; this is
+    the one-call entry point. *)
+
+type config = Stage.config = {
   tau : float;
   alpha : float;
   projection_tol : float;
@@ -13,7 +18,7 @@ type config = {
 
 val default_config : Category.t -> config
 
-type result = {
+type result = Stage.result = {
   category : Category.t;
   config : config;
   basis : Expectation.t;
@@ -36,9 +41,13 @@ type result = {
           the stages only {e read} extra state to emit facts. *)
 }
 
-val run : ?config:config -> Category.t -> result
+val run : ?config:config -> ?shards:int -> Category.t -> result
 (** Run the full pipeline for one category.  [config] defaults to
-    the category's paper parameters. *)
+    the category's paper parameters.  [shards] (default 1) splits
+    data collection and noise filtering into that many catalog-range
+    shards via {!Stage.run_sharded}; the outputs — chosen events,
+    metric definitions, provenance ledger — are bit-identical for
+    every shard count.  Raises [Invalid_argument] if [shards < 1]. *)
 
 val run_custom :
   config:config -> category:Category.t -> dataset:Cat_bench.Dataset.t ->

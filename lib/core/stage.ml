@@ -1,0 +1,586 @@
+(* The staged pipeline: typed stage boundaries with shard-parallel
+   front stages and serializable inter-stage artifacts.
+
+   dataset_shard -> classified_shard -> merged classified list ->
+   projection -> QRCP -> metrics
+
+   Everything up to the merge depends only on an event's own readings
+   (its measurement vectors and its Eq. 4 noise verdict), so
+   collection and noise filtering shard by catalog range; projection
+   onwards needs the whole accepted set and runs once, downstream of
+   the merge.  The sequential path (Pipeline.run, a thin driver over
+   this module) remains the bit-exact reference: a sharded run must
+   produce byte-identical chosen events, metric definitions and
+   provenance ledger. *)
+
+type config = {
+  tau : float;
+  alpha : float;
+  projection_tol : float;
+  reps : int;
+}
+
+let default_config category =
+  {
+    tau = Category.tau category;
+    alpha = Category.alpha category;
+    projection_tol = Category.projection_tol category;
+    reps = Cat_bench.Dataset.default_reps;
+  }
+
+type result = {
+  category : Category.t;
+  config : config;
+  basis : Expectation.t;
+  basis_diagnostics : Expectation.diagnostics;
+  classified : Noise_filter.classified list;
+  projected : Projection.projected list;
+  x : Linalg.Mat.t;
+  x_names : string array;
+  chosen : int array;
+  chosen_names : string array;
+  xhat : Linalg.Mat.t;
+  metrics : Metric_solver.metric_def list;
+  mutable ledger : Provenance.Ledger.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shard geometry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type range = { lo : int; hi : int }
+
+let range_pp { lo; hi } = Printf.sprintf "[%d,%d)" lo hi
+
+let shard_ranges ~shards ~total =
+  if shards < 1 then invalid_arg "Stage.shard_ranges: shards < 1";
+  if total < 0 then invalid_arg "Stage.shard_ranges: total < 0";
+  let base = total / shards and rem = total mod shards in
+  List.init shards (fun i ->
+      let lo = (i * base) + min i rem in
+      let hi = lo + base + if i < rem then 1 else 0 in
+      { lo; hi })
+
+(* ------------------------------------------------------------------ *)
+(* Front stages: per-shard collection and classification               *)
+(* ------------------------------------------------------------------ *)
+
+type dataset_shard = {
+  shard_range : range;
+  catalog_events : int;  (* events in the whole catalog *)
+  dataset : Cat_bench.Dataset.t;  (* only events in shard_range *)
+}
+
+type classified_shard = {
+  category : string;
+  machine : string;
+  shard_config : config;
+  range : range;
+  total : int;
+  row_labels : string array;
+  measure : string;
+  entries : Noise_filter.classified list;  (* catalog order within range *)
+}
+
+let collect_shard ?(reps = Cat_bench.Dataset.default_reps) category range =
+  let total = Category.catalog_size category in
+  if range.lo < 0 || range.hi < range.lo || range.hi > total then
+    invalid_arg
+      (Printf.sprintf "Stage.collect_shard: range %s outside [0,%d)"
+         (range_pp range) total);
+  let dataset =
+    Obs.span "shard-collect" (fun () ->
+        if Obs.enabled () then begin
+          Obs.attr_str "category" (Category.name category);
+          Obs.attr_int "lo" range.lo;
+          Obs.attr_int "hi" range.hi
+        end;
+        Category.dataset_range ~reps ~lo:range.lo ~hi:range.hi category)
+  in
+  { shard_range = range; catalog_events = total; dataset }
+
+let classify_shard ~config ~category (ds : dataset_shard) =
+  let entries =
+    Obs.span "shard-classify" (fun () ->
+        if Obs.enabled () then begin
+          Obs.attr_int "lo" ds.shard_range.lo;
+          Obs.attr_int "hi" ds.shard_range.hi
+        end;
+        Noise_filter.classify_shard ~tau:config.tau ds.dataset)
+  in
+  {
+    category = Category.name category;
+    machine = Category.machine category;
+    shard_config = config;
+    range = ds.shard_range;
+    total = ds.catalog_events;
+    row_labels = ds.dataset.Cat_bench.Dataset.row_labels;
+    measure = Noise_filter.measure_name Noise_filter.Max_rnmse;
+    entries;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Merge stage                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let config_equal a b =
+  Float.equal a.tau b.tau && Float.equal a.alpha b.alpha
+  && Float.equal a.projection_tol b.projection_tol
+  && a.reps = b.reps
+
+let merge_shards shards =
+  match shards with
+  | [] -> Error "no shards to merge"
+  | first :: _ ->
+    let sorted =
+      List.sort (fun a b -> compare (a.range.lo, a.range.hi) (b.range.lo, b.range.hi)) shards
+    in
+    let rec check_headers = function
+      | [] -> Ok ()
+      | s :: rest ->
+        if s.category <> first.category then
+          Error
+            (Printf.sprintf "category mismatch: %s vs %s" first.category
+               s.category)
+        else if s.machine <> first.machine then
+          Error
+            (Printf.sprintf "machine mismatch: %s vs %s" first.machine
+               s.machine)
+        else if not (config_equal s.shard_config first.shard_config) then
+          Error "config mismatch (tau/alpha/projection_tol/reps differ)"
+        else if s.total <> first.total then
+          Error
+            (Printf.sprintf "catalog size mismatch: %d vs %d" first.total
+               s.total)
+        else if s.row_labels <> first.row_labels then
+          Error "benchmark row labels mismatch"
+        else if s.measure <> first.measure then
+          Error
+            (Printf.sprintf "variability measure mismatch: %s vs %s"
+               first.measure s.measure)
+        else if List.length s.entries <> s.range.hi - s.range.lo then
+          Error
+            (Printf.sprintf
+               "shard %s carries %d entries for a %d-event range"
+               (range_pp s.range) (List.length s.entries)
+               (s.range.hi - s.range.lo))
+        else check_headers rest
+    in
+    let rec check_coverage expected = function
+      | [] ->
+        if expected = first.total then Ok ()
+        else
+          Error
+            (Printf.sprintf "coverage gap: events [%d,%d) missing" expected
+               first.total)
+      | s :: rest ->
+        if s.range.lo > expected then
+          Error
+            (Printf.sprintf "coverage gap: events [%d,%d) missing" expected
+               s.range.lo)
+        else if s.range.lo < expected then
+          Error
+            (Printf.sprintf "overlapping shard ranges at event %d (range %s)"
+               s.range.lo (range_pp s.range))
+        else check_coverage s.range.hi rest
+    in
+    let check_duplicates entries =
+      let seen = Hashtbl.create 128 in
+      let rec go = function
+        | [] -> Ok ()
+        | (c : Noise_filter.classified) :: rest ->
+          let name = c.event.Hwsim.Event.name in
+          if Hashtbl.mem seen name then
+            Error (Printf.sprintf "duplicate event name across shards: %s" name)
+          else begin
+            Hashtbl.add seen name ();
+            go rest
+          end
+      in
+      go entries
+    in
+    let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+    let* () = check_headers sorted in
+    let* () = check_coverage 0 sorted in
+    let entries = List.concat_map (fun s -> s.entries) sorted in
+    let* () = check_duplicates entries in
+    Ok { first with range = { lo = 0; hi = first.total }; entries }
+
+(* ------------------------------------------------------------------ *)
+(* Downstream stages (projection -> QRCP -> metrics), run once          *)
+(* ------------------------------------------------------------------ *)
+
+let publish_ledger_counters (l : Provenance.Ledger.t) =
+  if Obs.enabled () then begin
+    let t = Provenance.Ledger.totals l in
+    let f = float_of_int in
+    Obs.add "ledger.events" (f t.events);
+    Obs.add "ledger.all_zero" (f t.all_zero);
+    Obs.add "ledger.noisy" (f t.noisy);
+    Obs.add "ledger.kept" (f t.kept);
+    Obs.add "ledger.unrepresentable" (f t.unrepresentable);
+    Obs.add "ledger.accepted" (f t.accepted);
+    Obs.add "ledger.eliminated" (f t.eliminated);
+    Obs.add "ledger.chosen" (f t.chosen)
+  end
+
+let classify ~config dataset =
+  Obs.span "noise-filter" (fun () ->
+      Noise_filter.classify ~tau:config.tau dataset)
+
+(* Callers own Provenance.begin_run (the noise facts precede this
+   stage: the monolithic classify emits them itself, the merge stage
+   re-emits them from the shard artifacts); finalize happens here
+   because only this stage knows the accepted column names. *)
+let downstream ~config ~category ~basis ~signatures ~classified () =
+  let projected, (x, x_names) =
+    Obs.span "projection" (fun () ->
+        let projected =
+          Projection.project ~tol:config.projection_tol basis
+            (Noise_filter.kept classified)
+        in
+        (projected, Projection.to_matrix projected))
+  in
+  let qr = Obs.span "qrcp" (fun () -> Special_qrcp.factor ~alpha:config.alpha x) in
+  let chosen = Array.sub qr.Special_qrcp.perm 0 qr.Special_qrcp.rank in
+  let chosen_names = Array.map (fun j -> x_names.(j)) chosen in
+  let xhat = Linalg.Mat.select_cols x chosen in
+  let metrics =
+    Obs.span "metric-solve" (fun () ->
+        Metric_solver.define_all ~xhat ~names:chosen_names ~basis signatures)
+  in
+  if Obs.enabled () then Obs.add "pipeline.metrics_defined" (float_of_int (List.length metrics));
+  let ledger =
+    if Provenance.recording () then begin
+      let l =
+        Provenance.finalize ~category:(Category.name category)
+          ~machine:(Category.machine category) ~tau:config.tau
+          ~alpha:config.alpha ~projection_tol:config.projection_tol
+          ~basis_labels:(Expectation.labels basis) ~column_names:x_names ()
+      in
+      publish_ledger_counters l;
+      Some l
+    end
+    else None
+  in
+  {
+    category;
+    config;
+    basis;
+    basis_diagnostics = Expectation.diagnostics basis;
+    classified;
+    projected;
+    x;
+    x_names;
+    chosen;
+    chosen_names;
+    xhat;
+    metrics;
+    ledger;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded drivers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let split_ledger (l : Provenance.Ledger.t) ranges =
+  let arr = Array.of_list l.Provenance.Ledger.entries in
+  List.filter_map
+    (fun { lo; hi } ->
+      if lo >= hi then None
+      else
+        Some
+          {
+            l with
+            Provenance.Ledger.entries = Array.to_list (Array.sub arr lo (hi - lo));
+          })
+    ranges
+
+let run_merged ~category shards =
+  let merged =
+    match
+      Obs.span "shard-merge" (fun () ->
+          if Obs.enabled () then
+            Obs.attr_int "shards" (List.length shards);
+          merge_shards shards)
+    with
+    | Ok m -> m
+    | Error msg -> invalid_arg ("Stage.run_merged: " ^ msg)
+  in
+  if merged.category <> Category.name category then
+    invalid_arg
+      (Printf.sprintf "Stage.run_merged: shards are for category %s, not %s"
+         merged.category (Category.name category));
+  if merged.machine <> Category.machine category then
+    invalid_arg
+      (Printf.sprintf "Stage.run_merged: shards are for machine %s, not %s"
+         merged.machine (Category.machine category));
+  let config = merged.shard_config in
+  (* The shards never emit provenance (they may have lived in another
+     process); the noise facts re-enter here, in catalog order, so the
+     final ledger is bit-identical to the monolithic run's. *)
+  if Provenance.recording () then begin
+    Provenance.begin_run ();
+    List.iter
+      (fun (c : Noise_filter.classified) ->
+        Provenance.emit_noise ~event:c.event.Hwsim.Event.name
+          ~description:c.event.Hwsim.Event.description ~measure:merged.measure
+          ~variability:c.variability ~tau:config.tau
+          ~status:(Noise_filter.provenance_status c.status))
+      merged.entries
+  end;
+  let r =
+    downstream ~config ~category ~basis:(Category.basis category)
+      ~signatures:(Category.signatures category) ~classified:merged.entries ()
+  in
+  (* Reassemble the recorded ledger through Ledger.merge: split at the
+     shard boundaries and fold the per-shard audit documents back into
+     one — every sharded run exercises the conflict-detecting merge,
+     and the result is the same coherent document (entries concatenate
+     in catalog order). *)
+  (match r.ledger with
+  | None -> ()
+  | Some l ->
+    let ranges =
+      List.sort compare (List.map (fun s -> (s.range.lo, s.range.hi)) shards)
+      |> List.map (fun (lo, hi) -> { lo; hi })
+    in
+    let folded =
+      match split_ledger l ranges with
+      | [] -> l
+      | piece :: rest ->
+        List.fold_left
+          (fun acc p ->
+            match Provenance.Ledger.merge acc p with
+            | Ok m -> m
+            | Error msg ->
+              invalid_arg ("Stage.run_merged: ledger merge: " ^ msg))
+          piece rest
+    in
+    r.ledger <- Some folded);
+  r
+
+let run_sharded ?config ~shards category =
+  let config =
+    match config with Some c -> c | None -> default_config category
+  in
+  Obs.span "pipeline" (fun () ->
+      Obs.attr_str "category" (Category.name category);
+      if Obs.enabled () then Obs.attr_int "shards" shards;
+      let ranges =
+        shard_ranges ~shards ~total:(Category.catalog_size category)
+      in
+      let classified_shards =
+        List.map
+          (fun range ->
+            classify_shard ~config ~category
+              (collect_shard ~reps:config.reps category range))
+          ranges
+      in
+      run_merged ~category classified_shards)
+
+(* ------------------------------------------------------------------ *)
+(* Shard artifact JSON (versioned, non-finite-safe)                    *)
+(* ------------------------------------------------------------------ *)
+
+let shard_schema_version = 1
+
+let status_name = Noise_filter.status_name
+
+let status_of_name = function
+  | "kept" -> Some Noise_filter.Kept
+  | "too-noisy" -> Some Noise_filter.Too_noisy
+  | "all-zero" -> Some Noise_filter.All_zero
+  | _ -> None
+
+let shard_to_json (s : classified_shard) =
+  let entry_json (c : Noise_filter.classified) =
+    Jsonio.Obj
+      [
+        ("event", Jsonio.Str c.event.Hwsim.Event.name);
+        ("description", Jsonio.Str c.event.Hwsim.Event.description);
+        ("status", Jsonio.Str (status_name c.status));
+        ("variability", Jsonio.fnum c.variability);
+        ( "mean",
+          Jsonio.List
+            (Array.to_list
+               (Array.map Jsonio.fnum (Linalg.Vec.to_array c.mean))) );
+      ]
+  in
+  Jsonio.Obj
+    [
+      ("schema_version", Jsonio.Num (float_of_int shard_schema_version));
+      ("kind", Jsonio.Str "classified-shard");
+      ("category", Jsonio.Str s.category);
+      ("machine", Jsonio.Str s.machine);
+      ( "config",
+        Jsonio.Obj
+          [
+            ("tau", Jsonio.fnum s.shard_config.tau);
+            ("alpha", Jsonio.fnum s.shard_config.alpha);
+            ("projection_tol", Jsonio.fnum s.shard_config.projection_tol);
+            ("reps", Jsonio.Num (float_of_int s.shard_config.reps));
+          ] );
+      ( "range",
+        Jsonio.Obj
+          [
+            ("lo", Jsonio.Num (float_of_int s.range.lo));
+            ("hi", Jsonio.Num (float_of_int s.range.hi));
+          ] );
+      ("catalog_events", Jsonio.Num (float_of_int s.total));
+      ( "row_labels",
+        Jsonio.List
+          (Array.to_list (Array.map (fun l -> Jsonio.Str l) s.row_labels)) );
+      ("measure", Jsonio.Str s.measure);
+      ("events", Jsonio.List (List.map entry_json s.entries));
+    ]
+
+(* Strict decode, same discipline as Ledger.of_json: a missing or
+   mistyped field is an error naming the field, so artifacts from
+   drifted builds fail loudly rather than merge quietly. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let d_field ctx name json =
+  match Jsonio.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" ctx name)
+
+let d_float ctx name json =
+  let* v = d_field ctx name json in
+  match Jsonio.fnum_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: field %S is not a number" ctx name)
+
+let d_int ctx name json =
+  let* f = d_float ctx name json in
+  if Float.is_integer f then Ok (int_of_float f)
+  else Error (Printf.sprintf "%s: field %S is not an integer" ctx name)
+
+let d_str ctx name json =
+  let* v = d_field ctx name json in
+  match Jsonio.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "%s: field %S is not a string" ctx name)
+
+let d_list ctx name json =
+  let* v = d_field ctx name json in
+  match Jsonio.to_list_opt v with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "%s: field %S is not a list" ctx name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let entry_of_json ~rows json =
+  let* event = d_str "shard entry" "event" json in
+  let ctx = "event " ^ event in
+  let* description = d_str ctx "description" json in
+  let* status_s = d_str ctx "status" json in
+  let* status =
+    match status_of_name status_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "%s: unknown status %S" ctx status_s)
+  in
+  let* variability = d_float ctx "variability" json in
+  let* mean_l = d_list ctx "mean" json in
+  let* mean =
+    map_result
+      (fun v ->
+        match Jsonio.fnum_opt v with
+        | Some f -> Ok f
+        | None -> Error (ctx ^ ": mean entry is not a number"))
+      mean_l
+  in
+  if List.length mean <> rows then
+    Error
+      (Printf.sprintf "%s: mean has %d entries for %d benchmark rows" ctx
+         (List.length mean) rows)
+  else
+    (* Reconstructed events are opaque named events, exactly like a
+       CSV import of real measurements: the downstream stages only
+       ever use names, descriptions and the numbers. *)
+    Ok
+      {
+        Noise_filter.event = Hwsim.Event.make ~name:event ~desc:description [];
+        variability;
+        mean = Linalg.Vec.of_array (Array.of_list mean);
+        status;
+      }
+
+let shard_of_json json =
+  let ctx = "classified-shard" in
+  let* version = d_int ctx "schema_version" json in
+  if version <> shard_schema_version then
+    Error
+      (Printf.sprintf
+         "unsupported shard schema version %d (this build reads version %d)"
+         version shard_schema_version)
+  else
+    let* kind = d_str ctx "kind" json in
+    if kind <> "classified-shard" then
+      Error (Printf.sprintf "%s: unexpected kind %S" ctx kind)
+    else
+      let* category = d_str ctx "category" json in
+      let* machine = d_str ctx "machine" json in
+      let* config_j = d_field ctx "config" json in
+      let* tau = d_float ctx "tau" config_j in
+      let* alpha = d_float ctx "alpha" config_j in
+      let* projection_tol = d_float ctx "projection_tol" config_j in
+      let* reps = d_int ctx "reps" config_j in
+      let* range_j = d_field ctx "range" json in
+      let* lo = d_int ctx "lo" range_j in
+      let* hi = d_int ctx "hi" range_j in
+      let* total = d_int ctx "catalog_events" json in
+      let* labels_l = d_list ctx "row_labels" json in
+      let* labels =
+        map_result
+          (fun v ->
+            match Jsonio.to_string_opt v with
+            | Some s -> Ok s
+            | None -> Error (ctx ^ ": row label is not a string"))
+          labels_l
+      in
+      let* measure = d_str ctx "measure" json in
+      let* events = d_list ctx "events" json in
+      let rows = List.length labels in
+      let* entries = map_result (entry_of_json ~rows) events in
+      if lo < 0 || hi < lo || hi > total then
+        Error (Printf.sprintf "%s: bad range [%d,%d) of %d" ctx lo hi total)
+      else if List.length entries <> hi - lo then
+        Error
+          (Printf.sprintf "%s: %d entries for a %d-event range" ctx
+             (List.length entries) (hi - lo))
+      else
+        Ok
+          {
+            category;
+            machine;
+            shard_config = { tau; alpha; projection_tol; reps };
+            range = { lo; hi };
+            total;
+            row_labels = Array.of_list labels;
+            measure;
+            entries;
+          }
+
+let shard_equal a b =
+  let feq = Float.equal in
+  let entry_equal (x : Noise_filter.classified) (y : Noise_filter.classified) =
+    x.event.Hwsim.Event.name = y.event.Hwsim.Event.name
+    && x.event.Hwsim.Event.description = y.event.Hwsim.Event.description
+    && feq x.variability y.variability
+    && x.status = y.status
+    &&
+    let xv = Linalg.Vec.to_array x.mean and yv = Linalg.Vec.to_array y.mean in
+    Array.length xv = Array.length yv && Array.for_all2 feq xv yv
+  in
+  a.category = b.category && a.machine = b.machine
+  && config_equal a.shard_config b.shard_config
+  && a.range = b.range && a.total = b.total
+  && a.row_labels = b.row_labels && a.measure = b.measure
+  && List.equal entry_equal a.entries b.entries

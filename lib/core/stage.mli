@@ -1,0 +1,181 @@
+(** The staged pipeline: explicit, typed stage boundaries for the
+    paper's analysis, with shard-parallel front stages and
+    serializable inter-stage artifacts.
+
+    The stage graph:
+
+    {v
+      dataset_shard --classify--> classified_shard --\
+      dataset_shard --classify--> classified_shard ---+--merge--> classified
+      dataset_shard --classify--> classified_shard --/               |
+                                                                projection
+                                                                     |
+                                                                specialized QRCP
+                                                                     |
+                                                                metric solve
+    v}
+
+    Collection and noise filtering are per-event computations
+    (an event's verdict depends only on its own repetition vectors),
+    so they shard by catalog range [\[lo, hi)].  Projection, QRCP and
+    the metric solve need the whole accepted set and run once,
+    downstream of the deterministic merge.
+
+    {b Bit-identity contract}: because a simulated reading's noise
+    stream is keyed by [(seed, event, rep, row)], a sharded run —
+    whether the shards stay in-process or travel through the JSON
+    artifact — produces byte-identical chosen events, metric
+    definitions and provenance ledger to the monolithic
+    {!Pipeline.run} for every shard count.  [test/test_stage.ml] pins
+    this for all four categories. *)
+
+type config = {
+  tau : float;
+  alpha : float;
+  projection_tol : float;
+  reps : int;
+}
+
+val default_config : Category.t -> config
+
+type result = {
+  category : Category.t;
+  config : config;
+  basis : Expectation.t;
+  basis_diagnostics : Expectation.diagnostics;
+  classified : Noise_filter.classified list;
+  projected : Projection.projected list;
+  x : Linalg.Mat.t;
+  x_names : string array;
+  chosen : int array;
+  chosen_names : string array;
+  xhat : Linalg.Mat.t;
+  metrics : Metric_solver.metric_def list;
+  mutable ledger : Provenance.Ledger.t option;
+}
+(** See {!Pipeline.result} for per-field documentation (Pipeline
+    re-exports this type). *)
+
+(** {1 Shard geometry} *)
+
+type range = { lo : int; hi : int }
+(** Half-open catalog range [\[lo, hi)], 0-based. *)
+
+val range_pp : range -> string
+(** ["[lo,hi)"]. *)
+
+val shard_ranges : shards:int -> total:int -> range list
+(** Partition [\[0, total)] into [shards] contiguous ranges, sizes
+    differing by at most one (remainder spread over the leading
+    shards).  Ranges beyond [total] are empty but still present, so
+    the list always has length [shards].  Raises [Invalid_argument]
+    if [shards < 1] or [total < 0]. *)
+
+(** {1 Front stages (shardable)} *)
+
+type dataset_shard = {
+  shard_range : range;
+  catalog_events : int;  (** Events in the whole catalog. *)
+  dataset : Cat_bench.Dataset.t;  (** Only events in [shard_range]. *)
+}
+
+type classified_shard = {
+  category : string;
+  machine : string;
+  shard_config : config;
+  range : range;
+  total : int;  (** Catalog size the range refers to. *)
+  row_labels : string array;
+  measure : string;  (** Variability measure name. *)
+  entries : Noise_filter.classified list;  (** Catalog order within range. *)
+}
+(** The unit of exchange between the shardable front and the merged
+    back of the pipeline — self-describing (category, thresholds,
+    coverage) so the merge stage can reject mismatched or incomplete
+    shard sets, and serializable (see {!shard_to_json}) so shards can
+    run in separate processes. *)
+
+val collect_shard :
+  ?reps:int -> Category.t -> range -> dataset_shard
+(** Measure only the catalog events in [range], reusing the same
+    per-event seeds (and, for the data cache, the same kernel-run
+    activities) as the whole-catalog collection — the shard's vectors
+    are bit-identical to the corresponding slice.  Raises
+    [Invalid_argument] on an out-of-bounds range. *)
+
+val classify_shard :
+  config:config -> category:Category.t -> dataset_shard -> classified_shard
+(** Run the noise filter on one shard.  Emits no provenance (the
+    merge stage re-emits noise facts from the artifacts); publishes
+    [shard.events] / [shard.kept] counters. *)
+
+(** {1 Merge stage} *)
+
+val merge_shards :
+  classified_shard list -> (classified_shard, string) Stdlib.result
+(** Deterministically reassemble the full classified catalog:
+    sorts shards by range, validates headers (category, machine,
+    config, catalog size, benchmark rows, measure), coverage (no
+    gaps, no overlaps, every shard carrying exactly its range's
+    entries) and event-name uniqueness, then concatenates entries in
+    catalog order.  [Error] names the first conflict. *)
+
+(** {1 Downstream stages (run once)} *)
+
+val classify :
+  config:config -> Cat_bench.Dataset.t -> Noise_filter.classified list
+(** The monolithic noise-filter stage (with provenance emission),
+    inside the ["noise-filter"] span — what {!Pipeline.run} uses. *)
+
+val downstream :
+  config:config -> category:Category.t -> basis:Expectation.t ->
+  signatures:Signature.t list -> classified:Noise_filter.classified list ->
+  unit -> result
+(** Projection -> specialized QRCP -> metric definitions, plus
+    provenance finalization when recording.  The caller owns
+    [Provenance.begin_run] and the noise-fact emission (they precede
+    this stage). *)
+
+val run_merged : category:Category.t -> classified_shard list -> result
+(** Merge the shards (raising [Invalid_argument] on any conflict
+    {!merge_shards} reports), re-emit their noise facts in catalog
+    order when recording, and run {!downstream} with the category's
+    basis and signatures.  The recorded ledger is reassembled through
+    [Provenance.Ledger.merge] at the shard boundaries, so every
+    sharded run exercises the conflict-detecting ledger merge. *)
+
+val run_sharded : ?config:config -> shards:int -> Category.t -> result
+(** The full sharded pipeline: partition the catalog, collect and
+    classify each shard, merge, run downstream.  Bit-identical to
+    {!Pipeline.run} for every [shards >= 1]. *)
+
+val publish_ledger_counters : Provenance.Ledger.t -> unit
+(** Publish the [ledger.*] stage-total counters (used by the
+    downstream stage; exposed for Pipeline). *)
+
+val split_ledger :
+  Provenance.Ledger.t -> range list -> Provenance.Ledger.t list
+(** Cut a finalized ledger at shard boundaries (entry ranges; empty
+    ranges dropped) — the inverse of the [Ledger.merge] fold
+    {!run_merged} performs.  Exposed for the round-trip tests. *)
+
+(** {1 Shard artifact JSON} *)
+
+val shard_schema_version : int
+
+val shard_to_json : classified_shard -> Jsonio.t
+(** Versioned export ([schema_version], [kind = "classified-shard"]).
+    Non-finite variability/mean values are encoded with
+    {!Jsonio.fnum} so they round-trip losslessly. *)
+
+val shard_of_json : Jsonio.t -> (classified_shard, string) Stdlib.result
+(** Strict decode: rejects unknown schema versions, missing or
+    mistyped fields, ranges that disagree with the entry count, and
+    mean vectors that disagree with the benchmark rows.  Events are
+    reconstructed as opaque named events (like a CSV import of real
+    measurements): downstream stages only use names, descriptions and
+    the numbers. *)
+
+val shard_equal : classified_shard -> classified_shard -> bool
+(** Structural equality with exact float comparison (NaN-tolerant via
+    [Float.equal]) — used by the round-trip tests. *)

@@ -27,6 +27,29 @@ let runs_needed plan ~reps =
   if Obs.enabled () then Obs.add "session.runs_planned" (float_of_int runs);
   runs
 
+let restrict plan ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Session.restrict: bad range";
+  (* Cut at the SAME group boundaries as the full plan: walk the
+     groups with a running catalog index and keep only the events in
+     [lo, hi), dropping groups left empty.  Re-planning the slice
+     would shift boundaries and change which runs a shard schedules. *)
+  let idx = ref 0 in
+  let groups =
+    List.filter_map
+      (fun g ->
+        let g' =
+          List.filter
+            (fun _ ->
+              let i = !idx in
+              incr idx;
+              i >= lo && i < hi)
+            g
+        in
+        if g' = [] then None else Some g')
+      plan.groups
+  in
+  { plan with groups }
+
 let group_of plan name =
   let rec go i = function
     | [] -> raise Not_found

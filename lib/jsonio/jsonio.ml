@@ -236,6 +236,24 @@ let member name = function
   | _ -> None
 
 let to_float_opt = function Num f -> Some f | _ -> None
+
+(* Evidence values can legitimately be non-finite (a NaN variability
+   from a corrupt import is itself evidence), and plain JSON numbers
+   cannot carry them — encode non-finite floats as tagged strings so
+   documents round-trip losslessly.  Shared by the provenance ledger
+   and the pipeline's shard artifacts. *)
+let fnum f =
+  if Float.is_finite f then Num f
+  else if Float.is_nan f then Str "nan"
+  else if f > 0.0 then Str "inf"
+  else Str "-inf"
+
+let fnum_opt = function
+  | Num f -> Some f
+  | Str "nan" -> Some Float.nan
+  | Str "inf" -> Some Float.infinity
+  | Str "-inf" -> Some Float.neg_infinity
+  | _ -> None
 let to_string_opt = function Str s -> Some s | _ -> None
 let to_bool_opt = function Bool b -> Some b | _ -> None
 let to_list_opt = function List l -> Some l | _ -> None

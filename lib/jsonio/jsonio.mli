@@ -34,6 +34,16 @@ val of_string : string -> (t, string) result
 val member : string -> t -> t option
 (** Field lookup; [None] for missing fields and non-objects. *)
 
+val fnum : float -> t
+(** Non-finite-safe number encoding: finite floats become {!Num},
+    non-finite ones the tagged strings ["nan"] / ["inf"] / ["-inf"],
+    so evidence values round-trip losslessly (JSON itself has no
+    representation for them).  Decode with {!fnum_opt}. *)
+
+val fnum_opt : t -> float option
+(** Inverse of {!fnum}: accepts {!Num} and the three tagged strings;
+    [None] for anything else. *)
+
 val to_float_opt : t -> float option
 val to_string_opt : t -> string option
 val to_bool_opt : t -> bool option

@@ -286,15 +286,10 @@ let equal a b =
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Evidence values can legitimately be non-finite (a NaN variability
-   from a corrupt import is itself evidence), and plain JSON numbers
-   cannot carry them — encode non-finite floats as tagged strings so
+(* Non-finite evidence values (a NaN variability from a corrupt import
+   is itself evidence) use Jsonio's shared tagged-string encoding so
    the export round-trips losslessly. *)
-let fnum f =
-  if Float.is_finite f then Jsonio.Num f
-  else if Float.is_nan f then Jsonio.Str "nan"
-  else if f > 0.0 then Jsonio.Str "inf"
-  else Jsonio.Str "-inf"
+let fnum = Jsonio.fnum
 
 let status_name = function
   | Kept -> "kept"
@@ -399,12 +394,9 @@ let d_field ctx name json =
 
 let d_float ctx name json =
   let* v = d_field ctx name json in
-  match v with
-  | Jsonio.Num f -> Ok f
-  | Jsonio.Str "nan" -> Ok Float.nan
-  | Jsonio.Str "inf" -> Ok Float.infinity
-  | Jsonio.Str "-inf" -> Ok Float.neg_infinity
-  | _ -> Error (Printf.sprintf "%s: field %S is not a number" ctx name)
+  match Jsonio.fnum_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: field %S is not a number" ctx name)
 
 let d_int ctx name json =
   let* f = d_float ctx name json in
@@ -458,12 +450,9 @@ let projection_of_json ctx json =
   let* coords =
     map_result
       (fun v ->
-        match v with
-        | Jsonio.Num f -> Ok f
-        | Jsonio.Str "nan" -> Ok Float.nan
-        | Jsonio.Str "inf" -> Ok Float.infinity
-        | Jsonio.Str "-inf" -> Ok Float.neg_infinity
-        | _ -> Error (ctx ^ ": representation entry is not a number"))
+        match Jsonio.fnum_opt v with
+        | Some f -> Ok f
+        | None -> Error (ctx ^ ": representation entry is not a number"))
       repr
   in
   Ok { residual; tol; accepted; representation = Array.of_list coords }
@@ -485,11 +474,11 @@ let qrcp_of_json ctx json =
     let* runner_up_score =
       match Jsonio.member "runner_up_score" json with
       | Some Jsonio.Null -> Ok None
-      | Some (Jsonio.Num f) -> Ok (Some f)
-      | Some (Jsonio.Str "nan") -> Ok (Some Float.nan)
-      | Some (Jsonio.Str "inf") -> Ok (Some Float.infinity)
-      | Some (Jsonio.Str "-inf") -> Ok (Some Float.neg_infinity)
-      | _ -> Error (ctx ^ ": bad runner_up_score")
+      | Some v -> (
+        match Jsonio.fnum_opt v with
+        | Some f -> Ok (Some f)
+        | None -> Error (ctx ^ ": bad runner_up_score"))
+      | None -> Error (ctx ^ ": bad runner_up_score")
     in
     Ok (Picked { round; score; trailing_norm; candidates; runner_up; runner_up_score })
   | "eliminated" ->

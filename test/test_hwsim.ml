@@ -312,6 +312,28 @@ let test_session_validation () =
   Alcotest.check_raises "unknown event" Not_found (fun () ->
       ignore (Hwsim.Session.group_of p "Z"))
 
+let test_session_restrict () =
+  let five =
+    List.map (fun n -> Hwsim.Event.make ~name:n ~desc:"" [])
+      [ "A"; "B"; "C"; "D"; "E" ]
+  in
+  let p = Hwsim.Session.plan ~counters:2 five in
+  (* Full plan groups: [A;B] [C;D] [E].  Restricting to [1,4) must cut
+     at the SAME boundaries — [B] [C;D] — not re-plan the slice into
+     [B;C] [D] (which would shift co-residency). *)
+  let r = Hwsim.Session.restrict p ~lo:1 ~hi:4 in
+  let names = List.map (List.map (fun e -> e.Hwsim.Event.name)) r.Hwsim.Session.groups in
+  Alcotest.(check (list (list string)))
+    "boundaries preserved" [ [ "B" ]; [ "C"; "D" ] ] names;
+  (* Empty groups drop out entirely. *)
+  let tail = Hwsim.Session.restrict p ~lo:4 ~hi:5 in
+  Alcotest.(check int) "single tail group" 1 (Hwsim.Session.group_count tail);
+  Alcotest.(check int) "empty restriction" 0
+    (Hwsim.Session.group_count (Hwsim.Session.restrict p ~lo:5 ~hi:5));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Session.restrict: bad range") (fun () ->
+      ignore (Hwsim.Session.restrict p ~lo:3 ~hi:1))
+
 let () =
   Alcotest.run "hwsim"
     [
@@ -359,6 +381,7 @@ let () =
           Alcotest.test_case "runs accounting" `Quick test_session_runs_accounting;
           Alcotest.test_case "covers all events" `Quick test_session_covers_all_events;
           Alcotest.test_case "validation" `Quick test_session_validation;
+          Alcotest.test_case "restrict keeps boundaries" `Quick test_session_restrict;
         ] );
       ( "machine",
         [

@@ -1,0 +1,336 @@
+(* The staged pipeline: shard geometry, the sharded-vs-monolithic
+   equivalence property (all four categories, several shard counts —
+   chosen events, metric definitions and provenance ledger must be
+   bit-identical), the shard-artifact JSON round trip, negative merge
+   paths, ledger splitting, and shard counter totals. *)
+
+module Stage = Core.Stage
+module NF = Core.Noise_filter
+module L = Provenance.Ledger
+
+let with_clean_state f =
+  Provenance.set_recording false;
+  Obs.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Provenance.set_recording false;
+      Obs.clear ())
+    f
+
+let categories =
+  [
+    Core.Category.Cpu_flops;
+    Core.Category.Gpu_flops;
+    Core.Category.Branch;
+    Core.Category.Dcache;
+  ]
+
+let same_metrics a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Core.Metric_solver.metric_def)
+            (y : Core.Metric_solver.metric_def) ->
+         x.metric = y.metric
+         && Float.equal x.error y.error
+         && Float.equal x.residual_norm y.residual_norm
+         && List.equal
+              (fun (c1, e1) (c2, e2) -> Float.equal c1 c2 && e1 = e2)
+              x.combination y.combination)
+       a b
+
+let check_equivalent ~msg (mono : Core.Pipeline.result)
+    (sharded : Core.Pipeline.result) =
+  Alcotest.(check (array string))
+    (msg ^ ": chosen events") mono.chosen_names sharded.chosen_names;
+  Alcotest.(check bool)
+    (msg ^ ": metric definitions") true
+    (same_metrics mono.metrics sharded.metrics);
+  match (mono.ledger, sharded.ledger) with
+  | Some a, Some b ->
+    Alcotest.(check bool) (msg ^ ": ledger bit-identical") true (L.equal a b);
+    let ta = L.totals a and tb = L.totals b in
+    Alcotest.(check int) (msg ^ ": fate total events") ta.events tb.events;
+    Alcotest.(check int) (msg ^ ": fate total chosen") ta.chosen tb.chosen;
+    Alcotest.(check int)
+      (msg ^ ": fate total eliminated") ta.eliminated tb.eliminated;
+    Alcotest.(check int) (msg ^ ": fate total noisy") ta.noisy tb.noisy
+  | _ -> Alcotest.fail (msg ^ ": expected recorded ledgers on both runs")
+
+(* ------------------------------------------------------------------ *)
+(* Shard geometry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_ranges () =
+  let check ~shards ~total =
+    let ranges = Stage.shard_ranges ~shards ~total in
+    Alcotest.(check int)
+      (Printf.sprintf "%d shards produced" shards)
+      shards (List.length ranges);
+    (* Contiguous cover of [0, total): each range starts where the
+       previous ended. *)
+    let final =
+      List.fold_left
+        (fun expected (r : Stage.range) ->
+          Alcotest.(check int) "no gap or overlap" expected r.lo;
+          Alcotest.(check bool) "non-negative size" true (r.hi >= r.lo);
+          r.hi)
+        0 ranges
+    in
+    Alcotest.(check int) "covers the catalog" total final;
+    (* Balanced: sizes differ by at most one. *)
+    let sizes = List.map (fun (r : Stage.range) -> r.hi - r.lo) ranges in
+    let mx = List.fold_left max 0 sizes
+    and mn = List.fold_left min max_int sizes in
+    Alcotest.(check bool) "balanced" true (mx - mn <= 1)
+  in
+  List.iter
+    (fun (shards, total) -> check ~shards ~total)
+    [ (1, 10); (2, 10); (3, 10); (7, 10); (10, 10); (13, 10); (4, 0) ];
+  Alcotest.check_raises "shards < 1 rejected"
+    (Invalid_argument "Stage.shard_ranges: shards < 1") (fun () ->
+      ignore (Stage.shard_ranges ~shards:0 ~total:5))
+
+(* ------------------------------------------------------------------ *)
+(* The equivalence property (tentpole acceptance criterion)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharded_equivalent category () =
+  with_clean_state @@ fun () ->
+  Provenance.set_recording true;
+  let mono = Core.Pipeline.run category in
+  List.iter
+    (fun shards ->
+      let sharded = Core.Pipeline.run ~shards category in
+      check_equivalent
+        ~msg:(Printf.sprintf "%s N=%d" (Core.Category.name category) shards)
+        mono sharded)
+    [ 1; 2; 3; 5; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Serialized shards: JSON round trip feeding the merge                *)
+(* ------------------------------------------------------------------ *)
+
+let shards_for ?config ~shards category =
+  let config =
+    match config with Some c -> c | None -> Stage.default_config category
+  in
+  Stage.shard_ranges ~shards ~total:(Core.Category.catalog_size category)
+  |> List.map (fun range ->
+         Stage.classify_shard ~config ~category
+           (Stage.collect_shard ~reps:config.reps category range))
+
+let test_serialized_round_trip () =
+  with_clean_state @@ fun () ->
+  let category = Core.Category.Branch in
+  Provenance.set_recording true;
+  let mono = Core.Pipeline.run category in
+  let shards = shards_for ~shards:3 category in
+  let revived =
+    List.map
+      (fun s ->
+        (* Through text, as if the shard ran in another process. *)
+        let text = Jsonio.to_string (Stage.shard_to_json s) in
+        match Jsonio.of_string text with
+        | Error msg -> Alcotest.fail ("re-parse failed: " ^ msg)
+        | Ok json -> (
+          match Stage.shard_of_json json with
+          | Error msg -> Alcotest.fail ("decode failed: " ^ msg)
+          | Ok s' ->
+            Alcotest.(check bool)
+              "artifact round-trips structurally" true (Stage.shard_equal s s');
+            s'))
+      shards
+  in
+  let sharded = Stage.run_merged ~category revived in
+  check_equivalent ~msg:"branch via serialized shards" mono sharded
+
+let test_artifact_rejections () =
+  let category = Core.Category.Branch in
+  let shard = List.hd (shards_for ~shards:2 category) in
+  let json = Stage.shard_to_json shard in
+  let expect_error msg mangled =
+    match Stage.shard_of_json mangled with
+    | Ok _ -> Alcotest.fail (msg ^ ": decode unexpectedly succeeded")
+    | Error _ -> ()
+  in
+  let replace key v = function
+    | Jsonio.Obj fields ->
+      Jsonio.Obj (List.map (fun (k, x) -> if k = key then (k, v) else (k, x)) fields)
+    | other -> other
+  in
+  expect_error "future schema version"
+    (replace "schema_version" (Jsonio.Num 99.) json);
+  expect_error "wrong kind" (replace "kind" (Jsonio.Str "ledger") json);
+  expect_error "missing field"
+    (match json with
+    | Jsonio.Obj fields ->
+      Jsonio.Obj (List.filter (fun (k, _) -> k <> "measure") fields)
+    | other -> other);
+  expect_error "entry count disagrees with range"
+    (replace "range"
+       (Jsonio.Obj [ ("lo", Jsonio.Num 0.); ("hi", Jsonio.Num 1.) ])
+       json);
+  (* A valid document still decodes after the mangling exercises. *)
+  match Stage.shard_of_json json with
+  | Ok s -> Alcotest.(check bool) "pristine decode" true (Stage.shard_equal shard s)
+  | Error msg -> Alcotest.fail ("pristine document rejected: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Negative merge paths                                                *)
+(* ------------------------------------------------------------------ *)
+
+let expect_merge_error msg needle shards =
+  match Stage.merge_shards shards with
+  | Ok _ -> Alcotest.fail (msg ^ ": merge unexpectedly succeeded")
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      nn = 0 || go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: diagnostic mentions %S (got %S)" msg needle e)
+      true (contains e needle)
+
+let test_merge_conflicts () =
+  let category = Core.Category.Branch in
+  let shards = shards_for ~shards:3 category in
+  let a, b, c =
+    match shards with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  expect_merge_error "gap" "gap" [ a; c ];
+  expect_merge_error "overlap" "overlap" [ a; a; b; c ];
+  expect_merge_error "empty" "no shards" [];
+  (* Duplicate event names behind a consistent-looking coverage: find
+     two adjacent equal-size shards (a balanced 3-way split always has
+     a pair) and impersonate the second with a relabeled copy of the
+     first — ranges tile the catalog, but the names collide. *)
+  let size (s : Stage.classified_shard) = s.range.hi - s.range.lo in
+  let x, y =
+    if size a = size b then (a, b)
+    else if size b = size c then (b, c)
+    else Alcotest.fail "balanced split has no equal-size adjacent pair"
+  in
+  let x_as_y = { x with Stage.range = y.Stage.range } in
+  let impostors =
+    List.map (fun s -> if s == y then x_as_y else s) [ a; b; c ]
+  in
+  expect_merge_error "duplicate names" "duplicate" impostors;
+  (* Config mismatch. *)
+  let cfg = b.Stage.shard_config in
+  let b_hot = { b with Stage.shard_config = { cfg with tau = cfg.tau *. 2. } } in
+  expect_merge_error "config mismatch" "config" [ a; b_hot; c ];
+  (* Category mismatch. *)
+  let b_other = { b with Stage.category = "cpu-flops" } in
+  expect_merge_error "category mismatch" "category" [ a; b_other; c ];
+  (* Entry count inconsistent with the declared range. *)
+  let b_short = { b with Stage.entries = List.tl b.Stage.entries } in
+  expect_merge_error "short shard" "entries" [ a; b_short; c ]
+
+(* ------------------------------------------------------------------ *)
+(* Ledger splitting and counters                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_ledger () =
+  with_clean_state @@ fun () ->
+  Provenance.set_recording true;
+  let r = Core.Pipeline.run Core.Category.Branch in
+  let l = Core.Pipeline.ledger r in
+  let total = List.length l.L.entries in
+  let ranges = Stage.shard_ranges ~shards:4 ~total in
+  let pieces = Stage.split_ledger l ranges in
+  Alcotest.(check int)
+    "entries preserved" total
+    (List.fold_left (fun n p -> n + List.length p.L.entries) 0 pieces);
+  let refolded =
+    match pieces with
+    | [] -> Alcotest.fail "no pieces"
+    | p :: rest ->
+      List.fold_left
+        (fun acc q ->
+          match L.merge acc q with
+          | Ok m -> m
+          | Error e -> Alcotest.fail ("refold failed: " ^ e))
+        p rest
+  in
+  Alcotest.(check bool) "split+merge is identity" true (L.equal l refolded)
+
+let test_shard_counters_sum () =
+  with_clean_state @@ fun () ->
+  Obs.install Obs.Sink.null;
+  let category = Core.Category.Branch in
+  Obs.reset_counters ();
+  let _ = Core.Pipeline.run category in
+  let mono_kept = Obs.counter "noise_filter.kept" in
+  let mono_total =
+    Obs.counter "noise_filter.kept"
+    +. Obs.counter "noise_filter.too_noisy"
+    +. Obs.counter "noise_filter.all_zero"
+  in
+  Obs.reset_counters ();
+  let _ = Core.Pipeline.run ~shards:3 category in
+  Alcotest.(check (float 0.0))
+    "shard.events sums to the catalog" mono_total (Obs.counter "shard.events");
+  Alcotest.(check (float 0.0))
+    "shard.kept sums to monolithic kept" mono_kept (Obs.counter "shard.kept");
+  Alcotest.(check (float 0.0))
+    "noise_filter.kept agrees across modes" mono_kept
+    (Obs.counter "noise_filter.kept")
+
+(* ------------------------------------------------------------------ *)
+(* Explain-on-merged: exactly one fate per entry                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_merged_ledger_fates () =
+  with_clean_state @@ fun () ->
+  Provenance.set_recording true;
+  let r = Core.Pipeline.run ~shards:5 Core.Category.Dcache in
+  let l = Core.Pipeline.ledger r in
+  (match L.validate l with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("merged ledger invalid: " ^ e));
+  List.iter
+    (fun e ->
+      match L.fate_checked e with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail (e.L.event ^ ": " ^ msg))
+    l.L.entries;
+  (* The chain renderer works off shard-assembled entries too. *)
+  let chain = L.chain l (List.hd l.L.entries) in
+  Alcotest.(check bool) "chain renders" true (String.length chain > 0)
+
+let () =
+  let open Alcotest in
+  run "stage"
+    [
+      ( "geometry",
+        [ test_case "shard ranges cover and balance" `Quick test_shard_ranges ]
+      );
+      ( "equivalence",
+        List.map
+          (fun c ->
+            test_case
+              (Printf.sprintf "sharded == monolithic %s" (Core.Category.name c))
+              `Slow
+              (test_sharded_equivalent c))
+          categories );
+      ( "artifacts",
+        [
+          test_case "serialized shards round-trip" `Quick
+            test_serialized_round_trip;
+          test_case "malformed artifacts rejected" `Quick
+            test_artifact_rejections;
+        ] );
+      ( "merge",
+        [ test_case "conflicts detected" `Quick test_merge_conflicts ] );
+      ( "ledger",
+        [
+          test_case "split + merge is identity" `Quick test_split_ledger;
+          test_case "merged ledger has coherent fates" `Quick
+            test_merged_ledger_fates;
+        ] );
+      ( "counters",
+        [ test_case "shard counters sum" `Quick test_shard_counters_sum ] );
+    ]
