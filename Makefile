@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-smoke bench-linalg bench-shard shard-smoke repro examples figures docs clean
+.PHONY: all build test check lint lint-smoke bench bench-smoke bench-linalg bench-shard shard-smoke repro examples figures docs clean
 
 all: build
 
@@ -10,18 +10,32 @@ build:
 test:
 	dune runtest
 
-# Single CI entry point: build, full test suite, an observability
-# smoke run (per-stage timings + counters on one category), the
-# provenance explain smoke (one kept + one discarded event per
-# category must produce a coherent decision chain), and the linalg
-# benchmark smoke test.
+# Single CI entry point: build, full test suite, the static
+# pre-flight lint (must report zero errors on the shipped inputs),
+# an observability smoke run (per-stage timings + counters on one
+# category), the provenance explain smoke (one kept + one discarded
+# event per category must produce a coherent decision chain), and the
+# linalg benchmark smoke test.
 check:
 	dune build
 	dune runtest
+	$(MAKE) lint-smoke
 	dune exec bin/analyze.exe -- -c cpu-flops --stats --show summary
 	dune exec bin/analyze.exe -- explain --smoke
 	$(MAKE) shard-smoke
 	$(MAKE) bench-smoke
+
+# Static pre-flight analysis of every declarative input — bases,
+# signatures, catalogs, parameters, artifact schema — with zero
+# kernel executions.  Non-zero exit on any error-severity finding.
+lint:
+	dune exec bin/analyze.exe -- lint
+
+# CI form: quiet text pass plus a JSON report round-tripped through
+# the strict parser (the lint subcommand re-reads what it wrote).
+lint-smoke:
+	dune exec bin/analyze.exe -- lint --severity warn
+	dune exec bin/analyze.exe -- lint --quiet --json /tmp/lint_report.json
 
 # Sharded execution must be byte-identical to the monolithic run —
 # both in-process (--shards) and through serialized shard artifacts

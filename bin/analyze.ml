@@ -72,6 +72,14 @@ let shards_flag =
              count; the default 1 is the monolithic reference path." in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
+let preflight_flag =
+  let doc = "Install the static pre-flight gate before running: the \
+             category's declarative inputs (basis, signatures, thresholds, \
+             catalog) are linted with zero kernel executions and the run \
+             aborts on any error-severity diagnostic.  Off by default; on \
+             clean inputs the gated run's outputs are bit-identical." in
+  Arg.(value & flag & info [ "preflight" ] ~doc)
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -152,12 +160,13 @@ let run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
   print_newline ()
 
 let main category tau alpha proj_tol reps sections csv auto_tau trace stats
-    shards =
+    shards preflight =
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if shards < 1 then begin
     prerr_endline "analyze: --shards must be at least 1";
     exit 2
   end;
+  if preflight then Check.install_gate ();
   if shards > 1 && csv <> None then begin
     (* A CSV import is a finished dataset, not a collection to split. *)
     prerr_endline "analyze: --shards does not apply to --csv datasets";
@@ -179,21 +188,26 @@ let main category tau alpha proj_tol reps sections csv auto_tau trace stats
     end
     else None
   in
-  (match (csv, category) with
-  | Some _, None ->
-    prerr_endline "analyze: --csv requires --category";
-    exit 2
-  | Some _, Some c ->
-    run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
-      ~sections c
-  | None, Some c ->
-    run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
-      ~sections c
-  | None, None ->
-    List.iter
-      (run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
-         ~sections)
-      Core.Category.all);
+  (try
+     match (csv, category) with
+     | Some _, None ->
+       prerr_endline "analyze: --csv requires --category";
+       exit 2
+     | Some _, Some c ->
+       run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol
+         ~reps ~sections c
+     | None, Some c ->
+       run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
+         ~sections c
+     | None, None ->
+       List.iter
+         (run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
+            ~sections)
+         Core.Category.all
+   with Core.Stage.Preflight_failed ds ->
+     prerr_endline "analyze: pre-flight gate failed:";
+     List.iter (fun d -> prerr_endline ("  " ^ Core.Diagnostic.render d)) ds;
+     exit 1);
   match (trace, chrome) with
   | Some path, Some c -> (
     try
@@ -563,6 +577,113 @@ let merge_cmd =
     (Cmd.info "merge" ~doc ~man)
     Term.(const merge_main $ files $ sections $ json)
 
+(* ------------------------------------------------------------------ *)
+(* lint: the static pre-flight analyzer                                *)
+(* ------------------------------------------------------------------ *)
+
+let severity_conv =
+  let parse s =
+    match Core.Diagnostic.severity_of_name s with
+    | Some v -> Ok v
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown severity %S (error, warn, info)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf s ->
+        Format.pp_print_string ppf (Core.Diagnostic.severity_name s) )
+
+let lint_main category severity json rules_flag quiet =
+  if rules_flag then print_string (Check.rules_table ())
+  else begin
+    let diagnostics =
+      match category with
+      | Some c -> Check.run_all ~categories:[ c ] ()
+      | None -> Check.run_all ()
+    in
+    let shown = Core.Diagnostic.filter_min ~min:severity diagnostics in
+    if not quiet then
+      List.iter
+        (fun d -> print_endline (Core.Diagnostic.render d))
+        shown;
+    Option.iter
+      (fun path ->
+        let printed = Jsonio.to_string (Check.report_to_json shown) in
+        (* The export contract: what we write must survive the strict
+           parser and decode back to the same diagnostics. *)
+        let bad msg =
+          Printf.eprintf "analyze: lint report %s\n" msg;
+          exit 2
+        in
+        (match Jsonio.of_string printed with
+        | Error e -> bad ("does not re-parse: " ^ e)
+        | Ok doc -> (
+          match Check.report_of_json doc with
+          | Error e -> bad ("does not decode: " ^ e)
+          | Ok ds ->
+            if ds <> shown then bad "round trip changed the diagnostics"));
+        write_file ~what:"lint report" path (printed ^ "\n"))
+      json;
+    if not quiet then
+      Printf.printf "lint: %s\n" (Core.Diagnostic.summary_line diagnostics);
+    (* The gate contract: exit status reflects the full pass, not the
+       display filter. *)
+    if Core.Diagnostic.errors diagnostics <> [] then exit 1
+  end
+
+let lint_cmd =
+  let doc =
+    "Statically lint the pipeline's declarative inputs before any \
+     collection runs"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the static pre-flight analyzer over the expectation bases, \
+         metric signatures, event catalogs, thresholds and staged-artifact \
+         schemas — with zero kernel executions.  Exits non-zero if any \
+         error-severity diagnostic is found (regardless of the \
+         $(b,--severity) display filter).";
+      `P
+        "Rule ids are stable (see $(b,--rules)); diagnostics carry a \
+         machine payload and can be exported as versioned JSON with \
+         $(b,--json).";
+    ]
+  in
+  let lint_category =
+    let doc = "Restrict the category-scoped checks (basis, signatures, \
+               parameters) to one category; catalog and schema checks \
+               always run." in
+    Arg.(value & opt (some category_conv) None
+         & info [ "c"; "category" ] ~docv:"CATEGORY" ~doc)
+  in
+  let lint_severity =
+    let doc = "Only display diagnostics at or above $(docv) (error, warn, \
+               info).  The exit status still reflects all errors." in
+    Arg.(value & opt severity_conv Core.Diagnostic.Info
+         & info [ "severity" ] ~docv:"LEVEL" ~doc)
+  in
+  let lint_json =
+    let doc = "Export the displayed diagnostics as versioned JSON to \
+               $(docv) ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let lint_rules =
+    let doc = "Print the rule table (id, default severity, what it \
+               catches) and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let lint_quiet =
+    let doc = "Suppress the text rendering (useful with --json -)." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const lint_main $ lint_category $ lint_severity $ lint_json
+      $ lint_rules $ lint_quiet)
+
 let cmd =
   let doc =
     "Map raw hardware events to performance metrics via noise filtering, \
@@ -572,8 +693,9 @@ let cmd =
   let default =
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
-      $ csv_file $ auto_tau $ trace_file $ stats_flag $ shards_flag)
+      $ csv_file $ auto_tau $ trace_file $ stats_flag $ shards_flag
+      $ preflight_flag)
   in
-  Cmd.group ~default info [ explain_cmd; shard_cmd; merge_cmd ]
+  Cmd.group ~default info [ explain_cmd; shard_cmd; merge_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval cmd)

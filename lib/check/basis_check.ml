@@ -1,0 +1,179 @@
+(* Static analysis of an expectation basis, given as the declarative
+   ideal list it is built from (so defects that Expectation.of_ideals
+   would reject with an exception surface as diagnostics instead, and
+   defects it would accept silently — duplicate directions, near
+   colinearity, rank deficiency — are caught before any run). *)
+
+module D = Core.Diagnostic
+
+let colinear_cos_threshold = 0.999
+(* Below 1/rank-tol: past 1e8 the basis reads as rank-deficient
+   (tol 1e-8), so the warn band is (1e6, 1e8). *)
+let condition_warn_threshold = 1e6
+
+let fnum = Jsonio.fnum
+
+let diag ?category ?(data = []) rule severity subject fmt =
+  Printf.ksprintf (fun msg -> D.make ?category ~data ~rule ~severity ~subject msg) fmt
+
+let is_finite_vector v = Array.for_all Float.is_finite v
+
+let all_zero v = Array.for_all (fun x -> x = 0.0) v
+
+(* Exact elementwise equality: the duplicate-direction rule flags
+   literal copy-paste duplicates; near-duplicates fall to the
+   colinearity rule. *)
+let same_vector a b =
+  Array.length a = Array.length b && Array.for_all2 Float.equal a b
+
+let cos_angle a b =
+  let dot = ref 0.0 and na = ref 0.0 and nb = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      dot := !dot +. (x *. b.(i));
+      na := !na +. (x *. x);
+      nb := !nb +. (b.(i) *. b.(i)))
+    a;
+  if !na = 0.0 || !nb = 0.0 then 0.0
+  else !dot /. (sqrt !na *. sqrt !nb)
+
+let analyze ?category ?expected_rows (ideals : Cat_bench.Ideal.ideal list) =
+  let acc = ref [] in
+  let emit d = acc := d :: !acc in
+  (match ideals with
+  | [] ->
+    emit
+      (diag ?category "basis/empty" D.Error "basis"
+         "expectation basis has no directions: nothing can be projected or \
+          fitted")
+  | first :: _ ->
+    let n = List.length ideals in
+    let arr = Array.of_list ideals in
+    (* Shape: every direction against the kernel declaration's row
+       count (or, absent that, against the first direction). *)
+    let rows =
+      match expected_rows with
+      | Some r -> r
+      | None -> Array.length first.Cat_bench.Ideal.vector
+    in
+    Array.iter
+      (fun (i : Cat_bench.Ideal.ideal) ->
+        let len = Array.length i.vector in
+        if len <> rows then
+          emit
+            (diag ?category
+               ~data:[ ("expected_rows", fnum (float_of_int rows));
+                       ("actual_rows", fnum (float_of_int len)) ]
+               "ideal/shape-mismatch" D.Error i.label
+               "ideal vector has %d entries but the kernel declarations \
+                define %d benchmark rows"
+               len rows))
+      arr;
+    (* Entry-level sanity: expected counts are finite and non-negative. *)
+    Array.iter
+      (fun (i : Cat_bench.Ideal.ideal) ->
+        if not (is_finite_vector i.vector) then
+          emit
+            (diag ?category "basis/non-finite" D.Error i.label
+               "ideal vector contains NaN or infinite expected counts");
+        Array.iteri
+          (fun r x ->
+            if Float.is_finite x && x < 0.0 then
+              emit
+                (diag ?category
+                   ~data:[ ("row", fnum (float_of_int r)); ("value", fnum x) ]
+                   "ideal/negative-entry" D.Error i.label
+                   "expected count %g at benchmark row %d is negative: ideal \
+                    events count occurrences"
+                   x r))
+          i.vector)
+      arr;
+    (* Label uniqueness. *)
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun (i : Cat_bench.Ideal.ideal) ->
+        (match Hashtbl.find_opt seen i.Cat_bench.Ideal.label with
+        | Some () ->
+          emit
+            (diag ?category "basis/duplicate-label" D.Error i.label
+               "two basis directions share this symbol: signatures \
+                referencing it are ambiguous")
+        | None -> ());
+        Hashtbl.replace seen i.Cat_bench.Ideal.label ())
+      arr;
+    (* Zero directions. *)
+    Array.iter
+      (fun (i : Cat_bench.Ideal.ideal) ->
+        if Array.length i.vector > 0 && all_zero i.vector then
+          emit
+            (diag ?category "basis/zero-direction" D.Error i.label
+               "direction is all-zero over the benchmark rows: no kernel \
+                exercises this concept, its metric coordinates are \
+                unconstrained"))
+      arr;
+    (* Pairwise: exact duplicates, then near-colinear pairs. *)
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        let ia = arr.(a) and ib = arr.(b) in
+        if Array.length ia.vector = Array.length ib.vector
+           && is_finite_vector ia.vector && is_finite_vector ib.vector
+        then
+          if same_vector ia.vector ib.vector then
+            emit
+              (diag ?category
+                 ~data:[ ("other", Jsonio.Str ia.label) ]
+                 "basis/duplicate-direction" D.Error ib.label
+                 "direction is elementwise identical to %S: the basis cannot \
+                  distinguish the two concepts"
+                 ia.label)
+          else begin
+            let c = Float.abs (cos_angle ia.vector ib.vector) in
+            if c >= colinear_cos_threshold then
+              emit
+                (diag ?category
+                   ~data:[ ("other", Jsonio.Str ia.label); ("cos", fnum c) ]
+                   "basis/near-colinear" D.Warn ib.label
+                   "direction is nearly colinear with %S (|cos| = %.6f >= \
+                    %.3f): projections onto the two are barely \
+                    distinguishable under noise"
+                   ia.label c colinear_cos_threshold)
+          end
+      done
+    done;
+    (* Spectral checks need a well-shaped, finite matrix. *)
+    let shaped =
+      Array.for_all
+        (fun (i : Cat_bench.Ideal.ideal) ->
+          Array.length i.vector = rows && is_finite_vector i.vector)
+        arr
+    in
+    if shaped && rows > 0 then begin
+      let mat =
+        Linalg.Mat.of_cols
+          (Array.map (fun (i : Cat_bench.Ideal.ideal) -> i.vector) arr)
+      in
+      (* Relative tolerance sqrt(eps): the one-sided Jacobi SVD
+         resolves exact-zero singular values only to ~1e-9, so a
+         tighter cutoff would miss genuine deficiency. *)
+      let rank = Linalg.Svd.rank ~tol:1e-8 mat in
+      if rank < n then
+        emit
+          (diag ?category
+             ~data:[ ("rank", fnum (float_of_int rank));
+                     ("dim", fnum (float_of_int n)) ]
+             "basis/rank-deficient" D.Error "basis"
+             "expectation matrix has rank %d < %d directions: some ideal \
+              concepts are linear combinations of others and their metric \
+              coordinates are not unique"
+             rank n);
+      let cond = Linalg.Svd.condition_number mat in
+      if rank = n && cond > condition_warn_threshold then
+        emit
+          (diag ?category
+             ~data:[ ("condition_number", fnum cond) ]
+             "basis/ill-conditioned" D.Warn "basis"
+             "expectation matrix condition number %.3e exceeds %.0e: \
+              least-squares coordinates amplify measurement noise"
+             cond condition_warn_threshold)
+    end);
+  List.rev !acc

@@ -1,0 +1,72 @@
+(* Static analysis of hardware-event catalogs: name uniqueness within
+   a catalog, collisions across machine catalogs (a sweep that mixes
+   shards from several machines keys readings by event name, so a
+   cross-catalog collision would merge readings of different
+   counters), and declaration-level sanity of each event. *)
+
+module D = Core.Diagnostic
+
+let diag ?category ?(data = []) rule severity subject fmt =
+  Printf.ksprintf (fun msg -> D.make ?category ~data ~rule ~severity ~subject msg) fmt
+
+let analyze_catalog ~name (events : Hwsim.Event.t list) =
+  let acc = ref [] in
+  let emit d = acc := d :: !acc in
+  if events = [] then
+    emit
+      (diag ~category:name "catalog/empty-catalog" D.Error name
+         "catalog declares no events: nothing to measure or analyze");
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Hwsim.Event.t) ->
+      (match Hashtbl.find_opt seen e.Hwsim.Event.name with
+      | Some () ->
+        emit
+          (diag ~category:name "catalog/duplicate-event" D.Error
+             e.Hwsim.Event.name
+             "event name appears twice in the %s catalog: readings keyed by \
+              name would alias two different counters"
+             name)
+      | None -> ());
+      Hashtbl.replace seen e.Hwsim.Event.name ();
+      if e.Hwsim.Event.terms = [] && e.Hwsim.Event.offset = 0.0 then
+        emit
+          (diag ~category:name "catalog/no-terms" D.Info e.Hwsim.Event.name
+             "event has no activity terms and zero offset: it reads zero on \
+              every workload (the noise filter will discard it as \
+              irrelevant)"))
+    events;
+  List.rev !acc
+
+let cross_collisions catalogs =
+  let acc = ref [] in
+  let owner = Hashtbl.create 1024 in
+  List.iter
+    (fun (cat_name, events) ->
+      let seen_here = Hashtbl.create 256 in
+      List.iter
+        (fun (e : Hwsim.Event.t) ->
+          let name = e.Hwsim.Event.name in
+          (* Intra-catalog duplicates belong to analyze_catalog; only
+             report each (event, catalog pair) collision once. *)
+          if not (Hashtbl.mem seen_here name) then begin
+            Hashtbl.replace seen_here name ();
+            match Hashtbl.find_opt owner name with
+            | Some first_cat when first_cat <> cat_name ->
+              acc :=
+                diag
+                  ~data:[ ("catalogs",
+                           Jsonio.List
+                             [ Jsonio.Str first_cat; Jsonio.Str cat_name ]) ]
+                  "catalog/cross-collision" D.Warn name
+                  "event name exists in both the %s and %s catalogs: a \
+                   multi-machine sweep keying readings by name would merge \
+                   different counters"
+                  first_cat cat_name
+                :: !acc
+            | Some _ -> ()
+            | None -> Hashtbl.replace owner name cat_name
+          end)
+        events)
+    catalogs;
+  List.rev !acc

@@ -1,0 +1,21 @@
+(** Static analysis of hardware-event catalogs (rules [catalog/*]).
+
+    Name collisions are the catalog-level failure mode: readings,
+    provenance entries and shard merges are all keyed by event name,
+    so a duplicate within a catalog (or, for multi-machine sweeps, a
+    collision across the SPR / MI250X / Zen catalogs) would silently
+    alias two different counters. *)
+
+val analyze_catalog :
+  name:string -> Hwsim.Event.t list -> Core.Diagnostic.t list
+(** Rules emitted: [catalog/empty-catalog], [catalog/duplicate-event]
+    (error: aliased readings), [catalog/no-terms] (info: a declared
+    counter no CAT workload can move — the realistic clutter the
+    shipped catalogs model on purpose). *)
+
+val cross_collisions :
+  (string * Hwsim.Event.t list) list -> Core.Diagnostic.t list
+(** [cross_collisions [(name, events); ...]] reports
+    [catalog/cross-collision] (warn) for every event name present in
+    more than one catalog.  Intra-catalog duplicates are
+    {!analyze_catalog}'s job and do not double-report here. *)

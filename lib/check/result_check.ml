@@ -1,0 +1,54 @@
+(* Result-side checks folded into the lint vocabulary: the
+   static half validates that a derived metric's combination only
+   names events its catalog defines; the dynamic half converts
+   Validate's app-workload reports (which do measure) into the same
+   diagnostics, so pre-flight lint and post-run validation speak one
+   language. *)
+
+module D = Core.Diagnostic
+
+let fnum = Jsonio.fnum
+
+let diag ?category ?(data = []) rule severity subject fmt =
+  Printf.ksprintf (fun msg -> D.make ?category ~data ~rule ~severity ~subject msg) fmt
+
+let default_error_threshold = 0.05
+
+let analyze_combination ?category ~catalog
+    (def : Core.Metric_solver.metric_def) =
+  let names = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Hwsim.Event.t) -> Hashtbl.replace names e.Hwsim.Event.name ())
+    catalog;
+  List.filter_map
+    (fun (coef, event) ->
+      if Hashtbl.mem names event then None
+      else
+        Some
+          (diag ?category
+             ~data:[ ("event", Jsonio.Str event); ("coefficient", fnum coef) ]
+             "result/missing-event" D.Error def.Core.Metric_solver.metric
+             "combination references event %S, which the catalog does not \
+              define (evaluation would raise Not_found)"
+             event))
+    def.Core.Metric_solver.combination
+
+let diagnose_reports ?category ?(threshold = default_error_threshold) reports =
+  List.filter_map
+    (fun (r : Core.Validate.report) ->
+      if r.Core.Validate.relative_error <= threshold then None
+      else
+        Some
+          (diag ?category
+             ~data:
+               [ ("app", Jsonio.Str r.Core.Validate.app);
+                 ("predicted", fnum r.Core.Validate.predicted);
+                 ("ground_truth", fnum r.Core.Validate.ground_truth);
+                 ("relative_error", fnum r.Core.Validate.relative_error);
+                 ("threshold", fnum threshold) ]
+             "result/relative-error" D.Error r.Core.Validate.metric
+             "metric misses the %s ground truth by %.2e (threshold %.2e): \
+              predicted %.6g, truth %.6g"
+             r.Core.Validate.app r.Core.Validate.relative_error threshold
+             r.Core.Validate.predicted r.Core.Validate.ground_truth))
+    reports

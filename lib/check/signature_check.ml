@@ -1,0 +1,80 @@
+(* Static analysis of metric signatures against their basis: every
+   coordinate must name a real direction exactly once, every metric
+   must constrain something, and (informationally) every direction
+   ought to be used by some metric. *)
+
+module D = Core.Diagnostic
+
+let diag ?category ?(data = []) rule severity subject fmt =
+  Printf.ksprintf (fun msg -> D.make ?category ~data ~rule ~severity ~subject msg) fmt
+
+let analyze ?category ~labels (signatures : Core.Signature.t list) =
+  let acc = ref [] in
+  let emit d = acc := d :: !acc in
+  let label_set = Hashtbl.create 32 in
+  Array.iter (fun l -> Hashtbl.replace label_set l ()) labels;
+  let used = Hashtbl.create 32 in
+  let metric_seen = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Core.Signature.t) ->
+      (match Hashtbl.find_opt metric_seen s.metric with
+      | Some () ->
+        emit
+          (diag ?category "sig/duplicate-metric" D.Error s.metric
+             "two signatures define a metric of this name: lookups by name \
+              silently use the first")
+      | None -> ());
+      Hashtbl.replace metric_seen s.metric ();
+      if s.coords = [] then
+        emit
+          (diag ?category "sig/empty-metric" D.Error s.metric
+             "signature has no coordinates: the metric constrains nothing \
+              and its least-squares fit is vacuous");
+      let coord_seen = Hashtbl.create 8 in
+      List.iter
+        (fun (label, coef) ->
+          Hashtbl.replace used label ();
+          if not (Hashtbl.mem label_set label) then
+            emit
+              (diag ?category
+                 ~data:[ ("symbol", Jsonio.Str label) ]
+                 "sig/dangling-direction" D.Error s.metric
+                 "coordinate references basis symbol %S, which the basis \
+                  does not define (Signature.to_vector would raise at run \
+                  time)"
+                 label);
+          (match Hashtbl.find_opt coord_seen label with
+          | Some () ->
+            (* Latent defect class: Signature.to_vector materializes
+               coordinates with Vec.set, so a repeated symbol silently
+               overwrites the earlier coefficient instead of adding. *)
+            emit
+              (diag ?category
+                 ~data:[ ("symbol", Jsonio.Str label) ]
+                 "sig/duplicate-coordinate" D.Error s.metric
+                 "basis symbol %S appears twice in this signature: \
+                  to_vector keeps only the last coefficient (silent \
+                  overwrite, not a sum)"
+                 label)
+          | None -> ());
+          Hashtbl.replace coord_seen label ();
+          if coef = 0.0 then
+            emit
+              (diag ?category
+                 ~data:[ ("symbol", Jsonio.Str label) ]
+                 "sig/zero-coefficient" D.Warn s.metric
+                 "coordinate on %S has coefficient 0: dead weight that \
+                  suggests an editing mistake"
+                 label))
+        s.coords)
+    signatures;
+  if signatures <> [] then
+    Array.iter
+      (fun l ->
+        if not (Hashtbl.mem used l) then
+          emit
+            (diag ?category "sig/unused-direction" D.Info l
+               "no signature references this basis direction: it constrains \
+                the projection but defines no metric"))
+      labels;
+  List.rev !acc

@@ -1,0 +1,21 @@
+(** Static analysis of metric signatures against their basis (rules
+    [sig/*]).
+
+    Catches the failure the paper's pipeline would otherwise hit deep
+    inside the metric solve — a signature naming a direction the
+    basis does not define — plus the silent ones: a repeated basis
+    symbol in one signature is {e overwritten}, not summed, by
+    [Signature.to_vector] (rule [sig/duplicate-coordinate]); an empty
+    signature fits vacuously; a duplicate metric name shadows its
+    twin in lookups. *)
+
+val analyze :
+  ?category:string ->
+  labels:string array ->
+  Core.Signature.t list ->
+  Core.Diagnostic.t list
+(** [analyze ~labels sigs] checks every signature against the basis
+    symbols [labels].  Rules emitted: [sig/duplicate-metric],
+    [sig/empty-metric], [sig/dangling-direction],
+    [sig/duplicate-coordinate], [sig/zero-coefficient],
+    [sig/unused-direction]. *)

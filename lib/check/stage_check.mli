@@ -1,0 +1,22 @@
+(** Schema agreement for staged-pipeline artifacts (rule
+    [stage/schema-drift]).
+
+    A multi-machine sweep ships [classified-shard] JSON between
+    builds; this check catches encoder/decoder drift before that —
+    the encoder's output must parse, decode under this build's
+    {!Core.Stage.shard_schema_version}, and reconstruct the shard
+    structurally intact. *)
+
+val synthetic_shard : unit -> Core.Stage.classified_shard
+(** A minimal fully-populated shard (two events, one non-finite
+    variability to exercise the lossless number encoding) used by
+    {!roundtrip}; exposed for tests. *)
+
+val analyze_artifact : Jsonio.t -> Core.Diagnostic.t list
+(** Lint one artifact document: [stage/schema-drift] (error) if this
+    build's decoder rejects it (version drift, missing fields). *)
+
+val roundtrip : unit -> Core.Diagnostic.t list
+(** The self-check [Check.run_all] performs: encode the synthetic
+    shard, print, re-parse, decode, compare.  Empty when encoder and
+    decoder agree. *)

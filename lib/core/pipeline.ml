@@ -46,7 +46,10 @@ let run ?config ?(shards = 1) category =
   in
   if shards < 1 then invalid_arg "Pipeline.run: shards < 1"
   else if shards > 1 then Stage.run_sharded ~config ~shards category
-  else
+  else begin
+    (* run_sharded performs its own pre-flight; gate the monolithic
+       path here so both entry points are covered exactly once. *)
+    Stage.preflight_check category;
     Obs.span "pipeline" (fun () ->
         Obs.attr_str "category" (Category.name category);
         let dataset =
@@ -55,6 +58,7 @@ let run ?config ?(shards = 1) category =
         in
         run_stages ~config ~category ~dataset ~basis:(Category.basis category)
           ~signatures:(Category.signatures category) ())
+  end
 
 let run_all () = List.map (fun c -> run c) Category.all
 

@@ -47,7 +47,12 @@ val run : ?config:config -> ?shards:int -> Category.t -> result
     data collection and noise filtering into that many catalog-range
     shards via {!Stage.run_sharded}; the outputs — chosen events,
     metric definitions, provenance ledger — are bit-identical for
-    every shard count.  Raises [Invalid_argument] if [shards < 1]. *)
+    every shard count.  Raises [Invalid_argument] if [shards < 1].
+    When a pre-flight hook is installed ({!Stage.set_preflight},
+    normally via [Check.install_gate]), the category's declarative
+    inputs are linted first and {!Stage.Preflight_failed} is raised
+    on any error-severity diagnostic; with no hook (the default) the
+    run is unchanged. *)
 
 val run_custom :
   config:config -> category:Category.t -> dataset:Cat_bench.Dataset.t ->

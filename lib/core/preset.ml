@@ -83,19 +83,19 @@ let to_text presets =
 
 let to_json presets =
   let preset_json p =
-    Json.Obj
+    Jsonio.Obj
       [
-        ("papi_name", Json.Str p.papi_name);
-        ("metric", Json.Str p.metric);
-        ("machine", Json.Str p.machine);
-        ("available", Json.Bool p.available);
-        ("backward_error", Json.Num p.error);
+        ("papi_name", Jsonio.Str p.papi_name);
+        ("metric", Jsonio.Str p.metric);
+        ("machine", Jsonio.Str p.machine);
+        ("available", Jsonio.Bool p.available);
+        ("backward_error", Jsonio.Num p.error);
         ( "combination",
-          Json.List
+          Jsonio.List
             (List.map
                (fun (c, name) ->
-                 Json.Obj [ ("coefficient", Json.Num c); ("event", Json.Str name) ])
+                 Jsonio.Obj [ ("coefficient", Jsonio.Num c); ("event", Jsonio.Str name) ])
                p.combination) );
       ]
   in
-  Json.to_string (Json.List (List.map preset_json presets))
+  Jsonio.to_string (Jsonio.List (List.map preset_json presets))

@@ -28,6 +28,33 @@ let default_config category =
     reps = Cat_bench.Dataset.default_reps;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Optional pre-flight gate                                            *)
+(*                                                                     *)
+(* lib/check sits above core in the dependency order, so the static    *)
+(* analyzer cannot be called by name from here; instead it installs    *)
+(* itself through this hook (Check.install_gate).  Off by default:     *)
+(* with no hook installed the drivers below are bit-identical to a     *)
+(* build without the gate.  The hook is read-only over declarative     *)
+(* inputs (zero kernel executions), so enabling it on clean inputs     *)
+(* changes no pipeline output.                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Preflight_failed of Diagnostic.t list
+
+let preflight_hook : (Category.t -> Diagnostic.t list) option ref = ref None
+
+let set_preflight h = preflight_hook := h
+
+let preflight_installed () = !preflight_hook <> None
+
+let preflight_check category =
+  match !preflight_hook with
+  | None -> ()
+  | Some lint ->
+    let errors = Diagnostic.errors (lint category) in
+    if errors <> [] then raise (Preflight_failed errors)
+
 type result = {
   category : Category.t;
   config : config;
@@ -364,6 +391,7 @@ let run_sharded ?config ~shards category =
   let config =
     match config with Some c -> c | None -> default_config category
   in
+  preflight_check category;
   Obs.span "pipeline" (fun () ->
       Obs.attr_str "category" (Category.name category);
       if Obs.enabled () then Obs.attr_int "shards" shards;

@@ -56,6 +56,29 @@ type result = {
 (** See {!Pipeline.result} for per-field documentation (Pipeline
     re-exports this type). *)
 
+(** {1 Optional pre-flight gate}
+
+    [lib/check] sits above core in the dependency order, so the
+    static analyzer installs itself through a hook
+    ([Check.install_gate]) rather than being called by name.  Off by
+    default; when installed, {!Pipeline.run} and {!run_sharded} lint
+    the category's declarative inputs (zero kernel executions) before
+    collecting anything and raise {!Preflight_failed} carrying the
+    error-severity diagnostics.  On clean inputs the gate changes no
+    pipeline output. *)
+
+exception Preflight_failed of Diagnostic.t list
+
+val set_preflight : (Category.t -> Diagnostic.t list) option -> unit
+(** Install (or, with [None], remove) the pre-flight lint hook. *)
+
+val preflight_installed : unit -> bool
+
+val preflight_check : Category.t -> unit
+(** Run the installed hook, raising {!Preflight_failed} if any
+    diagnostic has error severity; a no-op when no hook is
+    installed. *)
+
 (** {1 Shard geometry} *)
 
 type range = { lo : int; hi : int }

@@ -84,32 +84,32 @@ let test_mean_csv_shape () =
 (* ------------------------------------------------------------------ *)
 
 let test_json_scalars () =
-  Alcotest.(check string) "null" "null" (Core.Json.to_string Core.Json.Null);
-  Alcotest.(check string) "true" "true" (Core.Json.to_string (Core.Json.Bool true));
-  Alcotest.(check string) "int-like" "42" (Core.Json.to_string (Core.Json.Num 42.0));
-  Alcotest.(check string) "string" "\"hi\"" (Core.Json.to_string (Core.Json.Str "hi"));
-  Alcotest.(check string) "nan -> null" "null" (Core.Json.to_string (Core.Json.Num Float.nan))
+  Alcotest.(check string) "null" "null" (Jsonio.to_string Jsonio.Null);
+  Alcotest.(check string) "true" "true" (Jsonio.to_string (Jsonio.Bool true));
+  Alcotest.(check string) "int-like" "42" (Jsonio.to_string (Jsonio.Num 42.0));
+  Alcotest.(check string) "string" "\"hi\"" (Jsonio.to_string (Jsonio.Str "hi"));
+  Alcotest.(check string) "nan -> null" "null" (Jsonio.to_string (Jsonio.Num Float.nan))
 
 let test_json_escaping () =
   Alcotest.(check string) "quotes and backslash" "\"a\\\"b\\\\c\""
-    (Core.Json.escape_string "a\"b\\c");
-  Alcotest.(check string) "newline" "\"a\\nb\"" (Core.Json.escape_string "a\nb");
-  Alcotest.(check string) "control" "\"\\u0001\"" (Core.Json.escape_string "\001")
+    (Jsonio.escape_string "a\"b\\c");
+  Alcotest.(check string) "newline" "\"a\\nb\"" (Jsonio.escape_string "a\nb");
+  Alcotest.(check string) "control" "\"\\u0001\"" (Jsonio.escape_string "\001")
 
 let test_json_structures () =
   let j =
-    Core.Json.Obj
-      [ ("xs", Core.Json.List [ Core.Json.Num 1.0; Core.Json.Num 2.0 ]);
-        ("empty", Core.Json.List []) ]
+    Jsonio.Obj
+      [ ("xs", Jsonio.List [ Jsonio.Num 1.0; Jsonio.Num 2.0 ]);
+        ("empty", Jsonio.List []) ]
   in
-  let s = Core.Json.to_string ~indent:0 j in
+  let s = Jsonio.to_string ~indent:0 j in
   Alcotest.(check bool) "contains fields" true
     (String.length s > 0
     && String.index_opt s '{' <> None
     && String.index_opt s '[' <> None)
 
 let test_json_float_precision () =
-  let s = Core.Json.to_string (Core.Json.Num 0.1) in
+  let s = Jsonio.to_string (Jsonio.Num 0.1) in
   Alcotest.(check (float 1e-18)) "round trip" 0.1 (float_of_string s)
 
 (* ------------------------------------------------------------------ *)

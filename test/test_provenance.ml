@@ -228,8 +228,8 @@ let check_three_views category () =
 (* ------------------------------------------------------------------ *)
 
 let roundtrip ledger =
-  let text = Core.Json.to_string (L.to_json ledger) in
-  match Core.Json.of_string text with
+  let text = Jsonio.to_string (L.to_json ledger) in
+  match Jsonio.of_string text with
   | Error msg -> Alcotest.failf "export does not parse: %s" msg
   | Ok json -> (
     match L.of_json json with

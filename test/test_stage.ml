@@ -5,7 +5,6 @@
    paths, ledger splitting, and shard counter totals. *)
 
 module Stage = Core.Stage
-module NF = Core.Noise_filter
 module L = Provenance.Ledger
 
 let with_clean_state f =
