@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check lint lint-smoke bench bench-smoke bench-linalg bench-shard shard-smoke repro examples figures docs clean
+.PHONY: all build test check lint lint-smoke bench bench-smoke bench-linalg bench-shard bench-check bench-check-smoke manifest-smoke shard-smoke repro examples figures docs clean
 
 all: build
 
@@ -24,6 +24,8 @@ check:
 	dune exec bin/analyze.exe -- explain --smoke
 	$(MAKE) shard-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) manifest-smoke
+	$(MAKE) bench-check-smoke
 
 # Static pre-flight analysis of every declarative input — bases,
 # signatures, catalogs, parameters, artifact schema — with zero
@@ -68,13 +70,50 @@ bench-smoke:
 # baseline comparison; refreshes bench/BENCH_linalg.json.
 bench-linalg:
 	dune exec bench/linalg_scale.exe -- --out bench/BENCH_linalg.json \
-	  --baseline bench/BENCH_linalg_baseline.json
+	  --baseline bench/BENCH_linalg_baseline.json \
+	  --trajectory bench/TRAJECTORY.jsonl
 
 # Sharded-noise-filter profile (time + peak live heap words per shard
 # count); refreshes bench/BENCH_shard.json.
 bench-shard:
-	dune exec bench/shard_bench.exe -- --out bench/BENCH_shard.json
+	dune exec bench/shard_bench.exe -- --out bench/BENCH_shard.json \
+	  --trajectory bench/TRAJECTORY.jsonl
 	dune exec bench/shard_bench.exe -- --check bench/BENCH_shard.json
+
+# Run-manifest smoke: emit a manifest from a real pipeline run, render
+# it, and diff two manifests of the same config — `analyze report
+# --diff` must exit zero (no non-timing differences).
+manifest-smoke:
+	dune exec bin/analyze.exe -- -c branch --show summary \
+	  --manifest /tmp/manifest_a.json
+	dune exec bin/analyze.exe -- -c branch --show summary \
+	  --manifest /tmp/manifest_b.json
+	dune exec bin/analyze.exe -- report /tmp/manifest_a.json
+	dune exec bin/analyze.exe -- report --diff /tmp/manifest_a.json /tmp/manifest_b.json
+
+# Perf-regression gate: full benchmark runs compared against the
+# checked-in baseline manifests.  Non-zero exit on any metric
+# regression or exact-match counter mismatch.
+bench-check:
+	dune exec bench/linalg_scale.exe -- --out /tmp/BENCH_linalg_now.json
+	dune exec bench/bench_check.exe -- --baseline bench/BENCH_linalg.json \
+	  --current /tmp/BENCH_linalg_now.json --trajectory bench/TRAJECTORY.jsonl
+	dune exec bench/shard_bench.exe -- --out /tmp/BENCH_shard_now.json
+	dune exec bench/bench_check.exe -- --baseline bench/BENCH_shard.json \
+	  --current /tmp/BENCH_shard_now.json --trajectory bench/TRAJECTORY.jsonl
+
+# Fast CI form of the gate: a smoke bench run compared against itself
+# must pass, the checked-in baselines must survive the strict decoder,
+# and an injected slowdown must make the gate fail (proving it fires).
+bench-check-smoke:
+	dune exec bench/linalg_scale.exe -- --smoke --out /tmp/BENCH_gate_smoke.json
+	dune exec bench/bench_check.exe -- --baseline /tmp/BENCH_gate_smoke.json \
+	  --current /tmp/BENCH_gate_smoke.json
+	dune exec bench/linalg_scale.exe -- --check bench/BENCH_linalg.json
+	dune exec bench/linalg_scale.exe -- --check bench/BENCH_linalg_baseline.json
+	dune exec bench/shard_bench.exe -- --check bench/BENCH_shard.json
+	! dune exec bench/bench_check.exe -- --baseline /tmp/BENCH_gate_smoke.json \
+	  --current /tmp/BENCH_gate_smoke.json --inject 1000 > /dev/null 2>&1
 
 # Machine-checked reproduction scorecard (non-zero exit on any failure).
 repro:

@@ -3,24 +3,31 @@
    Runs the two kernels that dominate the pipeline at event-catalog
    scale — column-pivoted QR (Algorithm 1 / the orthogonalization
    engine behind the specialized pivoting) and least-squares
-   projection — on synthetic catalogs of 1k..10k event columns, and
-   emits a machine-readable [BENCH_linalg.json].
+   projection — on synthetic catalogs of 1k..8k event columns, and
+   writes a run manifest (the unified bench-report schema: config
+   digest, per-span latency histograms, GC deltas, metrics) as
+   [BENCH_linalg.json].
 
    Timings come from the [lib/obs] span machinery (a Memory sink
    records every span; wall time is the recorded span duration), so
    this benchmark also exercises the tracing layer end to end.
 
    Usage:
-     linalg_scale [--smoke] [--out FILE] [--baseline FILE] [--check FILE]
+     linalg_scale [--smoke] [--out FILE] [--baseline FILE]
+                  [--check FILE] [--trajectory FILE]
 
    [--smoke] runs only the smallest scale with one repetition (the
-   [make bench-smoke] CI entry point).  [--baseline FILE] merges a
-   previously recorded run (e.g. the boxed-storage numbers captured
-   at the seed commit) into the output and reports speedups.
-   [--check FILE] parses FILE as JSON and exits non-zero if it is
-   malformed or missing the expected fields; it runs no benchmark. *)
+   [make bench-smoke] CI entry point).  [--baseline FILE] loads a
+   previously recorded manifest (e.g. the boxed-storage numbers
+   captured at the seed commit) and prints per-scale speedups.
+   [--check FILE] strictly decodes FILE as a bench manifest and exits
+   non-zero if it is malformed, tampered with or from a different
+   benchmark; it runs no kernel.  [--trajectory FILE] appends one
+   JSONL summary line to the trajectory log.  Regression gating
+   against a baseline manifest is bench_check's job. *)
 
 let storage_label = "flat-floatarray-row-major"
+let source_label = "bench:linalg-scale"
 
 (* ------------------------------------------------------------------ *)
 (* Synthetic event catalogs                                            *)
@@ -102,211 +109,50 @@ let run_scale ~reps ~rows ~cols =
   { rows; cols; reps; qrcp_ms; lstsq_ms; qrcp_rank = rank }
 
 (* ------------------------------------------------------------------ *)
-(* JSON out                                                            *)
+(* Manifest assembly                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let json_of_result r =
-  Jsonio.Obj
+let scale_key r = Printf.sprintf "%dx%d" r.rows r.cols
+
+let manifest_of_results ~smoke ~reps ~scales recorder results =
+  let config =
     [
-      ("rows", Jsonio.Num (float_of_int r.rows));
-      ("cols", Jsonio.Num (float_of_int r.cols));
-      ("reps", Jsonio.Num (float_of_int r.reps));
-      ("qrcp_ms", Jsonio.Num r.qrcp_ms);
-      ("lstsq_ms", Jsonio.Num r.lstsq_ms);
-      ("qrcp_rank", Jsonio.Num (float_of_int r.qrcp_rank));
+      ("storage", storage_label);
+      ("smoke", string_of_bool smoke);
+      ("reps", string_of_int reps);
+      ( "scales",
+        String.concat ","
+          (List.map (fun (r, c) -> Printf.sprintf "%dx%d" r c) scales) );
     ]
-
-(* ------------------------------------------------------------------ *)
-(* Minimal JSON parser (validation for --check / --baseline)           *)
-(* ------------------------------------------------------------------ *)
-
-module Parse = struct
-  exception Malformed of string
-
-  type v =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of v list
-    | Obj of (string * v) list
-
-  let parse (s : string) : v =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected %C" c)
-    in
-    let literal word v =
-      let l = String.length word in
-      if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
-      else fail (Printf.sprintf "expected %s" word)
-    in
-    let string_body () =
-      let buf = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> advance (); Buffer.contents buf
-        | Some '\\' ->
-          advance ();
-          (match peek () with
-           | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
-             Buffer.add_char buf c; advance ()
-           | Some 'n' -> Buffer.add_char buf '\n'; advance ()
-           | Some 't' -> Buffer.add_char buf '\t'; advance ()
-           | Some 'r' -> Buffer.add_char buf '\r'; advance ()
-           | Some 'b' -> Buffer.add_char buf '\b'; advance ()
-           | Some 'f' -> Buffer.add_char buf '\012'; advance ()
-           | Some 'u' ->
-             advance ();
-             if !pos + 4 > n then fail "bad unicode escape";
-             (try ignore (int_of_string ("0x" ^ String.sub s !pos 4))
-              with _ -> fail "bad unicode escape");
-             (* Keep the raw escape; validation only. *)
-             Buffer.add_string buf (String.sub s !pos 4);
-             pos := !pos + 4
-           | _ -> fail "bad escape");
-          go ()
-        | Some c -> Buffer.add_char buf c; advance (); go ()
-      in
-      go ()
-    in
-    let number () =
-      let start = !pos in
-      let is_num_char c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-        advance ()
-      done;
-      if !pos = start then fail "expected number";
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> Num f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then (advance (); Obj [])
-        else begin
-          let fields = ref [] in
-          let rec members () =
-            skip_ws ();
-            expect '"';
-            let k = string_body () in
-            skip_ws ();
-            expect ':';
-            let v = value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); members ()
-            | Some '}' -> advance ()
-            | _ -> fail "expected , or } in object"
-          in
-          members ();
-          Obj (List.rev !fields)
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then (advance (); List [])
-        else begin
-          let items = ref [] in
-          let rec elements () =
-            let v = value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); elements ()
-            | Some ']' -> advance ()
-            | _ -> fail "expected , or ] in array"
-          in
-          elements ();
-          List (List.rev !items)
-        end
-      | Some '"' -> advance (); Str (string_body ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> number ()
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let member name = function
-    | Obj fields -> List.assoc_opt name fields
-    | _ -> None
-end
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* Structural validation of a BENCH_linalg.json document: an object
-   with a [storage] string and a [scales] array of objects each
-   carrying numeric rows/cols/qrcp_ms/lstsq_ms. *)
-let validate path =
-  let doc =
-    try Parse.parse (read_file path)
-    with
-    | Parse.Malformed msg -> failwith (path ^ ": malformed JSON: " ^ msg)
-    | Sys_error msg -> failwith msg
   in
-  (match Parse.member "storage" doc with
-   | Some (Parse.Str _) -> ()
-   | _ -> failwith (path ^ ": missing or non-string \"storage\""));
-  match Parse.member "scales" doc with
-  | Some (Parse.List (_ :: _ as scales)) ->
-    List.iteri
-      (fun i s ->
-        List.iter
-          (fun field ->
-            match Parse.member field s with
-            | Some (Parse.Num v) when Float.is_finite v -> ()
-            | _ ->
-              failwith
-                (Printf.sprintf "%s: scales[%d]: missing or non-numeric %S"
-                   path i field))
-          [ "rows"; "cols"; "qrcp_ms"; "lstsq_ms" ])
-      scales
-  | _ -> failwith (path ^ ": missing or empty \"scales\" array")
+  let metrics =
+    List.concat_map
+      (fun r ->
+        [
+          ("qrcp_ms_" ^ scale_key r, r.qrcp_ms);
+          ("lstsq_ms_" ^ scale_key r, r.lstsq_ms);
+        ])
+      results
+  in
+  let extra_counters =
+    List.map
+      (fun r -> ("qrcp_rank_" ^ scale_key r, float_of_int r.qrcp_rank))
+      results
+  in
+  Bench_report.finalize ~source:source_label ~label:"linalg" ~config ~metrics
+    ~extra_counters recorder
 
-let baseline_qrcp_ms doc ~rows ~cols =
-  match Parse.member "scales" doc with
-  | Some (Parse.List scales) ->
-    List.find_map
-      (fun s ->
-        match
-          (Parse.member "rows" s, Parse.member "cols" s, Parse.member "qrcp_ms" s)
-        with
-        | Some (Parse.Num r), Some (Parse.Num c), Some (Parse.Num q)
-          when int_of_float r = rows && int_of_float c = cols ->
-          Some q
-        | _ -> None)
-      scales
-  | _ -> None
+let check_manifest path =
+  match Bench_report.load_manifest path with
+  | Error msg -> failwith msg
+  | Ok m ->
+    if m.Obs.Manifest.source <> source_label then
+      failwith
+        (Printf.sprintf "%s: manifest source is %S, expected %S" path
+           m.Obs.Manifest.source source_label);
+    if m.Obs.Manifest.metrics = [] then
+      failwith (path ^ ": manifest records no metrics");
+    m
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -320,25 +166,35 @@ let () =
   let out = ref "BENCH_linalg.json" in
   let baseline = ref "" in
   let check = ref "" in
+  let trajectory = ref "" in
   let spec =
     [
       ("--smoke", Arg.Set smoke, "smallest scale, one repetition (CI smoke)");
       ("--out", Arg.Set_string out, "FILE output path (default BENCH_linalg.json)");
-      ("--baseline", Arg.Set_string baseline, "FILE merge a recorded baseline run");
-      ("--check", Arg.Set_string check, "FILE validate FILE as BENCH_linalg JSON and exit");
+      ("--baseline", Arg.Set_string baseline, "FILE print speedups vs a recorded manifest");
+      ("--check", Arg.Set_string check, "FILE strictly decode FILE as a bench manifest and exit");
+      ("--trajectory", Arg.Set_string trajectory, "FILE append a JSONL summary line to FILE");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "linalg_scale [--smoke] [--out FILE] [--baseline FILE] [--check FILE]";
+    "linalg_scale [--smoke] [--out FILE] [--baseline FILE] [--check FILE] \
+     [--trajectory FILE]";
   if !check <> "" then begin
-    (try validate !check
-     with Failure msg ->
-       prerr_endline ("linalg_scale --check: " ^ msg);
-       exit 1);
-    Printf.printf "%s: well-formed BENCH_linalg document\n" !check;
+    let m =
+      try check_manifest !check
+      with Failure msg ->
+        prerr_endline ("linalg_scale --check: " ^ msg);
+        exit 1
+    in
+    Printf.printf "%s: well-formed bench manifest (%d metrics, digest %s)\n"
+      !check
+      (List.length m.Obs.Manifest.metrics)
+      m.Obs.Manifest.config_digest;
     exit 0
   end;
   Obs.install (Obs.Memory.sink mem);
+  let recorder = Obs.Recorder.create () in
+  Obs.install (Obs.Recorder.sink recorder);
   let scales = if !smoke then scales_smoke else scales_full in
   let reps = if !smoke then 1 else 5 in
   let results =
@@ -350,51 +206,29 @@ let () =
         r)
       scales
   in
-  let base_doc =
-    if !baseline = "" then None
-    else begin
-      validate !baseline;
-      Some (Parse.parse (read_file !baseline))
-    end
-  in
-  let speedups =
-    match base_doc with
-    | None -> []
-    | Some doc ->
-      List.filter_map
-        (fun r ->
-          match baseline_qrcp_ms doc ~rows:r.rows ~cols:r.cols with
-          | Some base when r.qrcp_ms > 0.0 ->
-            let s = base /. r.qrcp_ms in
-            Printf.printf "%dx%-6d qrcp speedup vs baseline: %.2fx\n%!" r.rows r.cols s;
-            Some
-              (Jsonio.Obj
-                 [
-                   ("rows", Jsonio.Num (float_of_int r.rows));
-                   ("cols", Jsonio.Num (float_of_int r.cols));
-                   ("baseline_qrcp_ms", Jsonio.Num base);
-                   ("qrcp_ms", Jsonio.Num r.qrcp_ms);
-                   ("qrcp_speedup", Jsonio.Num s);
-                 ])
-          | _ -> None)
-        results
-  in
-  let doc =
-    Jsonio.Obj
-      ([
-         ("storage", Jsonio.Str storage_label);
-         ("smoke", Jsonio.Bool !smoke);
-         ("spans_recorded",
-          Jsonio.Num (float_of_int (List.length (Obs.Memory.span_ends mem))));
-         ("scales", Jsonio.List (List.map json_of_result results));
-       ]
-      @ if speedups = [] then [] else [ ("qrcp_speedup_vs_baseline", Jsonio.List speedups) ])
-  in
-  let oc = open_out !out in
-  output_string oc (Jsonio.to_string doc);
-  output_string oc "\n";
-  close_out oc;
-  (* The file must round-trip through the validator: emitting a
-     malformed document is a bench bug and should fail CI. *)
-  validate !out;
+  (if !baseline <> "" then
+     match Bench_report.load_manifest !baseline with
+     | Error msg ->
+       prerr_endline ("linalg_scale --baseline: " ^ msg);
+       exit 1
+     | Ok base ->
+       List.iter
+         (fun r ->
+           match
+             Obs.Manifest.find_metric base ("qrcp_ms_" ^ scale_key r)
+           with
+           | Some base_ms when r.qrcp_ms > 0.0 ->
+             Printf.printf "%dx%-6d qrcp speedup vs baseline: %.2fx\n%!"
+               r.rows r.cols (base_ms /. r.qrcp_ms)
+           | _ -> ())
+         results);
+  let m = manifest_of_results ~smoke:!smoke ~reps ~scales recorder results in
+  Bench_report.write_manifest !out m;
+  (* The file must survive the strict decoder: emitting a malformed
+     manifest is a bench bug and should fail CI. *)
+  (try ignore (check_manifest !out)
+   with Failure msg ->
+     prerr_endline ("linalg_scale: wrote a malformed manifest: " ^ msg);
+     exit 1);
+  if !trajectory <> "" then Bench_report.append_trajectory !trajectory m;
   Printf.printf "wrote %s\n" !out

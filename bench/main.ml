@@ -178,7 +178,8 @@ let extension_tests =
 
 let print_stage_stats () =
   let summary = Obs.Summary.create () in
-  Obs.install (Obs.Summary.sink summary);
+  let summary_sink = Obs.Summary.sink summary in
+  Obs.install summary_sink;
   List.iter
     (fun category ->
       Printf.printf "\ncounter deltas per stage (%s):\n"
@@ -200,9 +201,11 @@ let print_stage_stats () =
   Obs.reset_counters ();
   List.iter (fun c -> ignore (Core.Pipeline.run c)) Core.Category.all;
   print_string (Obs.Summary.render summary);
-  (* Leave no sink behind: the Bechamel timings below must run on the
-     zero-overhead disabled path. *)
-  Obs.clear ()
+  (* Leave no summary sink behind: the Bechamel timings below must run
+     without it (and, unless --manifest keeps a recorder, on the
+     zero-overhead disabled path). *)
+  Obs.uninstall summary_sink;
+  Obs.reset_counters ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel boilerplate                                                *)
@@ -237,11 +240,33 @@ let print_results results =
         (name, ns) :: acc)
       table []
   in
-  List.iter
-    (fun (name, ns) -> Printf.printf "%-44s %16.0f\n" name ns)
-    (List.sort compare rows)
+  let rows = List.sort compare rows in
+  List.iter (fun (name, ns) -> Printf.printf "%-44s %16.0f\n" name ns) rows;
+  rows
 
 let () =
+  let manifest_out = ref "" in
+  Arg.parse
+    [
+      ( "--manifest",
+        Arg.Set_string manifest_out,
+        "FILE write a run manifest (pipeline spans + Bechamel ns/run \
+         metrics) to FILE" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench main [--manifest FILE]";
+  (* With --manifest, a recorder observes the reproduction and the
+     per-category pipeline runs of part 2; it is removed before the
+     Bechamel timings so those still run unobserved. *)
+  let recorder =
+    if !manifest_out = "" then None
+    else begin
+      let r = Obs.Recorder.create () in
+      let sink = Obs.Recorder.sink r in
+      Obs.install sink;
+      Some (r, sink)
+    end
+  in
   (* Part 1: the reproduction. *)
   print_endline "######################################################################";
   print_endline "# Reproduction: every table and figure of the paper                  #";
@@ -252,6 +277,7 @@ let () =
   print_endline "# Stage observability: counter deltas and span timings               #";
   print_endline "######################################################################";
   print_stage_stats ();
+  Option.iter (fun (_, sink) -> Obs.uninstall sink) recorder;
   (* Part 3: timings. *)
   print_endline "######################################################################";
   print_endline "# Bechamel timings: one benchmark per table/figure stage             #";
@@ -260,4 +286,15 @@ let () =
     List.concat_map stage_tests Core.Category.all
     @ Lazy.force fig3_test @ substrate_tests @ Lazy.force extension_tests
   in
-  print_results (benchmark tests)
+  let rows = print_results (benchmark tests) in
+  Option.iter
+    (fun (r, _) ->
+      let metrics = List.map (fun (name, ns) -> (name ^ "_ns", ns)) rows in
+      let m =
+        Bench_report.finalize ~source:"bench:main" ~label:"paper-tables"
+          ~config:[ ("suite", "reproduction+bechamel") ]
+          ~metrics r
+      in
+      Bench_report.write_manifest !manifest_out m;
+      Printf.eprintf "bench manifest written to %s\n" !manifest_out)
+    recorder

@@ -12,16 +12,20 @@
    smaller than the repetition data.
 
    Every run is self-validating: chosen events must be bit-identical
-   to the monolithic reference for each shard count.
+   to the monolithic reference for each shard count.  Results are
+   written as a run manifest (the unified bench-report schema) —
+   front/merge wall times and peak live words are metrics, the
+   chosen-event counts are exact-match counters.
 
    Usage:
-     shard_bench [--smoke] [--out FILE] [--check FILE]
+     shard_bench [--smoke] [--out FILE] [--check FILE] [--trajectory FILE]
 
    [--smoke] runs only shard counts 1 and 2 on the branch category
-   (the [make check] entry point).  [--check FILE] validates FILE as
-   BENCH_shard JSON and exits; it runs no benchmark. *)
+   (the [make check] entry point).  [--check FILE] strictly decodes
+   FILE as a bench manifest and exits; it runs no benchmark.
+   [--trajectory FILE] appends one JSONL summary line to FILE. *)
 
-let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+let source_label = "bench:shard"
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
@@ -103,63 +107,53 @@ let bench ~categories ~shard_counts =
     categories
 
 (* ------------------------------------------------------------------ *)
-(* JSON                                                                *)
+(* Manifest assembly                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let sample_json s =
-  Jsonio.Obj
-    [
-      ("category", Jsonio.Str s.category);
-      ("shards", Jsonio.Num (float_of_int s.shards));
-      ("front_ms", Jsonio.Num s.front_ms);
-      ("merge_ms", Jsonio.Num s.merge_ms);
-      ("baseline_live_words", Jsonio.Num (float_of_int s.baseline_live_words));
-      ("peak_live_words", Jsonio.Num (float_of_int s.peak_live_words));
-      ("chosen", Jsonio.Num (float_of_int s.chosen));
-    ]
+let sample_key s = Printf.sprintf "%s_s%d" s.category s.shards
 
-let doc_json ~smoke samples =
-  Jsonio.Obj
+let manifest_of_samples ~smoke ~categories ~shard_counts recorder samples =
+  let config =
     [
-      ("benchmark", Jsonio.Str "sharded-noise-filter");
-      ("smoke", Jsonio.Bool smoke);
-      ("samples", Jsonio.List (List.map sample_json samples));
+      ("benchmark", "sharded-noise-filter");
+      ("smoke", string_of_bool smoke);
+      ( "categories",
+        String.concat "," (List.map Core.Category.name categories) );
+      ( "shard_counts",
+        String.concat "," (List.map string_of_int shard_counts) );
     ]
+  in
+  let metrics =
+    List.concat_map
+      (fun s ->
+        [
+          ("front_ms_" ^ sample_key s, s.front_ms);
+          ("merge_ms_" ^ sample_key s, s.merge_ms);
+          ( "peak_live_mwords_" ^ sample_key s,
+            float_of_int s.peak_live_words /. 1e6 );
+        ])
+      samples
+  in
+  (* Chosen-event counts are correctness, not timing: exact-match. *)
+  let extra_counters =
+    List.map
+      (fun s -> ("chosen_" ^ sample_key s, float_of_int s.chosen))
+      samples
+  in
+  Bench_report.finalize ~source:source_label ~label:"shard" ~config ~metrics
+    ~extra_counters recorder
 
-let check_file path =
-  let text =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let* json = Jsonio.of_string text in
-  let* () =
-    match Jsonio.member "benchmark" json with
-    | Some (Jsonio.Str "sharded-noise-filter") -> Ok ()
-    | _ -> Error "missing or wrong \"benchmark\" field"
-  in
-  let* samples =
-    match Option.bind (Jsonio.member "samples" json) Jsonio.to_list_opt with
-    | Some l -> Ok l
-    | None -> Error "missing \"samples\" list"
-  in
-  if samples = [] then Error "empty \"samples\" list"
-  else
-    let field_ok name s =
-      match Option.bind (Jsonio.member name s) Jsonio.to_float_opt with
-      | Some v -> Float.is_finite v && v >= 0.0
-      | None -> false
-    in
-    if
-      List.for_all
-        (fun s ->
-          List.for_all
-            (fun f -> field_ok f s)
-            [ "shards"; "front_ms"; "merge_ms"; "peak_live_words"; "chosen" ])
-        samples
-    then Ok (List.length samples)
-    else Error "a sample is missing a numeric field"
+let check_manifest path =
+  match Bench_report.load_manifest path with
+  | Error msg -> failwith msg
+  | Ok m ->
+    if m.Obs.Manifest.source <> source_label then
+      failwith
+        (Printf.sprintf "%s: manifest source is %S, expected %S" path
+           m.Obs.Manifest.source source_label);
+    if m.Obs.Manifest.metrics = [] then
+      failwith (path ^ ": manifest records no metrics");
+    m
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -169,25 +163,34 @@ let () =
   let smoke = ref false in
   let out = ref "BENCH_shard.json" in
   let check = ref "" in
+  let trajectory = ref "" in
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " shard counts 1-2, branch only");
       ("--out", Arg.Set_string out, "FILE output path (default BENCH_shard.json)");
       ( "--check",
         Arg.Set_string check,
-        "FILE validate FILE as BENCH_shard JSON and exit" );
+        "FILE strictly decode FILE as a bench manifest and exit" );
+      ( "--trajectory",
+        Arg.Set_string trajectory,
+        "FILE append a JSONL summary line to FILE" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "shard_bench [--smoke] [--out FILE] [--check FILE]";
+    "shard_bench [--smoke] [--out FILE] [--check FILE] [--trajectory FILE]";
   if !check <> "" then begin
-    match check_file !check with
-    | Ok n ->
-      Printf.printf "shard_bench --check: %s ok (%d samples)\n" !check n
-    | Error msg ->
-      Printf.eprintf "shard_bench --check: %s: %s\n" !check msg;
+    match check_manifest !check with
+    | m ->
+      Printf.printf
+        "shard_bench --check: %s ok (%d metrics, digest %s)\n" !check
+        (List.length m.Obs.Manifest.metrics)
+        m.Obs.Manifest.config_digest
+    | exception Failure msg ->
+      Printf.eprintf "shard_bench --check: %s\n" msg;
       exit 1
   end
   else begin
+    let recorder = Obs.Recorder.create () in
+    Obs.install (Obs.Recorder.sink recorder);
     let categories, shard_counts =
       if !smoke then ([ Core.Category.Branch ], [ 1; 2 ])
       else
@@ -203,11 +206,15 @@ let () =
           s.category s.shards s.front_ms s.merge_ms s.peak_live_words
           (s.peak_live_words - s.baseline_live_words))
       samples;
-    let oc = open_out_bin !out in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (Jsonio.to_string (doc_json ~smoke:!smoke samples));
-        output_char oc '\n');
+    let m =
+      manifest_of_samples ~smoke:!smoke ~categories ~shard_counts recorder
+        samples
+    in
+    Bench_report.write_manifest !out m;
+    (try ignore (check_manifest !out)
+     with Failure msg ->
+       prerr_endline ("shard_bench: wrote a malformed manifest: " ^ msg);
+       exit 1);
+    if !trajectory <> "" then Bench_report.append_trajectory !trajectory m;
     Printf.eprintf "results written to %s\n" !out
   end

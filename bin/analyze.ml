@@ -53,6 +53,15 @@ let csv_file =
              --category to select the expectation basis and signatures." in
   Arg.(value & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+(* ------------------------------------------------------------------ *)
+(* Shared observability flag wiring                                    *)
+(*                                                                     *)
+(* Every subcommand that does real work accepts the same --trace FILE  *)
+(* and --stats pair, declared once here and threaded as one term; the  *)
+(* sink lifecycle (install, render, write) lives in [with_obs] so no   *)
+(* subcommand re-implements it.                                        *)
+(* ------------------------------------------------------------------ *)
+
 let trace_file =
   let doc = "Write a Chrome-trace-format JSON trace of the run to $(docv); \
              load it in chrome://tracing or ui.perfetto.dev.  Spans cover \
@@ -64,6 +73,44 @@ let stats_flag =
              pipeline counters (events kept/too-noisy/all-zero, projection \
              accept/reject, QRCP pivots, simulated readings)." in
   Arg.(value & flag & info [ "stats" ] ~doc)
+
+let obs_term = Term.(const (fun trace stats -> (trace, stats)) $ trace_file $ stats_flag)
+
+(* [f] receives the Summary sink (when --stats) so it can reset and
+   render per phase; with [render_stats] (the default) the accumulated
+   table is printed once after [f] instead. *)
+let with_obs ?(render_stats = true) (trace, stats) f =
+  let chrome =
+    Option.map
+      (fun _ ->
+        let c = Obs.Chrome_trace.create () in
+        Obs.install (Obs.Chrome_trace.sink c);
+        c)
+      trace
+  in
+  let summary =
+    if stats then begin
+      let s = Obs.Summary.create () in
+      Obs.install (Obs.Summary.sink s);
+      Some s
+    end
+    else None
+  in
+  let result = f ~summary in
+  if render_stats then
+    Option.iter
+      (fun s -> Printf.printf "Stage stats:\n%s" (Obs.Summary.render s))
+      summary;
+  (match (trace, chrome) with
+  | Some path, Some c -> (
+    try
+      Obs.Chrome_trace.write_file c path;
+      Printf.eprintf "trace written to %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "analyze: cannot write trace: %s\n" msg;
+      exit 1)
+  | _ -> ());
+  result
 
 let shards_flag =
   let doc = "Split data collection and noise filtering into $(docv) \
@@ -95,6 +142,38 @@ let write_file ~what path text =
       (fun () -> output_string oc text);
     Printf.eprintf "%s written to %s\n" what path
   end
+
+(* ------------------------------------------------------------------ *)
+(* Run manifests                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_file =
+  let doc = "Write the run manifest — config digest, per-stage timings \
+             with latency histograms and GC deltas, counters, ledger fate \
+             totals, lint summary and artifact hashes — as versioned JSON \
+             to $(docv) ('-' for stdout).  Inspect or compare manifests \
+             with 'analyze report'." in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let install_manifest_hook ~command path =
+  Core.Stage.set_manifest
+    (Some
+       (fun m ->
+         write_file
+           ~what:(Printf.sprintf "run manifest (%s)" command)
+           path
+           (Jsonio.to_string (Obs.Manifest.to_json m) ^ "\n")))
+
+let load_manifest ~command path =
+  let fail msg =
+    Printf.eprintf "analyze %s: %s: %s\n" command path msg;
+    exit 1
+  in
+  let text = try read_file path with Sys_error msg -> fail msg in
+  match Jsonio.of_string text with
+  | Error msg -> fail ("not JSON: " ^ msg)
+  | Ok j -> (
+    match Obs.Manifest.of_json j with Error msg -> fail msg | Ok m -> m)
 
 let config_of ~tau ~alpha ~proj_tol ~reps category =
   let default = Core.Pipeline.default_config category in
@@ -159,7 +238,7 @@ let run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
     summary;
   print_newline ()
 
-let main category tau alpha proj_tol reps sections csv auto_tau trace stats
+let main category tau alpha proj_tol reps sections csv auto_tau obs manifest
     shards preflight =
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if shards < 1 then begin
@@ -172,51 +251,35 @@ let main category tau alpha proj_tol reps sections csv auto_tau trace stats
     prerr_endline "analyze: --shards does not apply to --csv datasets";
     exit 2
   end;
-  let chrome =
-    Option.map
-      (fun _ ->
-        let c = Obs.Chrome_trace.create () in
-        Obs.install (Obs.Chrome_trace.sink c);
-        c)
-      trace
-  in
-  let summary =
-    if stats then begin
-      let s = Obs.Summary.create () in
-      Obs.install (Obs.Summary.sink s);
-      Some s
-    end
-    else None
-  in
-  (try
-     match (csv, category) with
-     | Some _, None ->
-       prerr_endline "analyze: --csv requires --category";
-       exit 2
-     | Some _, Some c ->
-       run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol
-         ~reps ~sections c
-     | None, Some c ->
-       run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
-         ~sections c
-     | None, None ->
-       List.iter
-         (run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
-            ~sections)
-         Core.Category.all
-   with Core.Stage.Preflight_failed ds ->
-     prerr_endline "analyze: pre-flight gate failed:";
-     List.iter (fun d -> prerr_endline ("  " ^ Core.Diagnostic.render d)) ds;
-     exit 1);
-  match (trace, chrome) with
-  | Some path, Some c -> (
-    try
-      Obs.Chrome_trace.write_file c path;
-      Printf.eprintf "trace written to %s\n" path
-    with Sys_error msg ->
-      Printf.eprintf "analyze: cannot write trace: %s\n" msg;
-      exit 1)
-  | _ -> ()
+  (match (manifest, category) with
+  | Some _, None ->
+    (* One manifest describes one run; an all-category sweep would
+       silently keep only the last category's. *)
+    prerr_endline "analyze: --manifest requires --category";
+    exit 2
+  | Some path, Some _ -> install_manifest_hook ~command:"analyze" path
+  | None, _ -> ());
+  with_obs ~render_stats:false obs (fun ~summary ->
+      try
+        match (csv, category) with
+        | Some _, None ->
+          prerr_endline "analyze: --csv requires --category";
+          exit 2
+        | Some _, Some c ->
+          run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol
+            ~reps ~sections c
+        | None, Some c ->
+          run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
+            ~sections c
+        | None, None ->
+          List.iter
+            (run_category ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol
+               ~reps ~sections)
+            Core.Category.all
+      with Core.Stage.Preflight_failed ds ->
+        prerr_endline "analyze: pre-flight gate failed:";
+        List.iter (fun d -> prerr_endline ("  " ^ Core.Diagnostic.render d)) ds;
+        exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* explain: query the per-event provenance ledger                      *)
@@ -319,7 +382,8 @@ let smoke_category ?(shards = 1) category =
   check "chosen" chosen;
   check "discarded" discarded
 
-let explain_main category event all fate json smoke shards =
+let explain_main category event all fate json smoke shards obs =
+  with_obs obs @@ fun ~summary:_ ->
   let module L = Provenance.Ledger in
   if smoke then begin
     let categories =
@@ -414,13 +478,15 @@ let explain_cmd =
     (Cmd.info "explain" ~doc ~man)
     Term.(
       const explain_main $ explain_category $ explain_event $ explain_all
-      $ explain_fate $ explain_json $ explain_smoke $ explain_shards)
+      $ explain_fate $ explain_json $ explain_smoke $ explain_shards
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* shard / merge: the serialized staged pipeline                       *)
 (* ------------------------------------------------------------------ *)
 
-let shard_main category index shards out tau alpha proj_tol reps =
+let shard_main category index shards out tau alpha proj_tol reps obs =
+  with_obs obs @@ fun ~summary:_ ->
   let category =
     match category with
     | Some c -> c
@@ -494,14 +560,16 @@ let shard_cmd =
     (Cmd.info "shard" ~doc ~man)
     Term.(
       const shard_main $ explain_category $ index $ shards $ out $ tau $ alpha
-      $ proj_tol $ reps)
+      $ proj_tol $ reps $ obs_term)
 
-let merge_main files sections json =
+let merge_main files sections json manifest obs =
+  with_obs obs @@ fun ~summary:_ ->
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if files = [] then begin
     prerr_endline "analyze merge: give the shard artifact FILEs to merge";
     exit 2
   end;
+  Option.iter (install_manifest_hook ~command:"analyze merge") manifest;
   let shards =
     List.map
       (fun path ->
@@ -575,7 +643,7 @@ let merge_cmd =
   in
   Cmd.v
     (Cmd.info "merge" ~doc ~man)
-    Term.(const merge_main $ files $ sections $ json)
+    Term.(const merge_main $ files $ sections $ json $ manifest_file $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* lint: the static pre-flight analyzer                                *)
@@ -593,7 +661,8 @@ let severity_conv =
       fun ppf s ->
         Format.pp_print_string ppf (Core.Diagnostic.severity_name s) )
 
-let lint_main category severity json rules_flag quiet =
+let lint_main category severity json rules_flag quiet obs =
+  with_obs obs @@ fun ~summary:_ ->
   if rules_flag then print_string (Check.rules_table ())
   else begin
     let diagnostics =
@@ -682,7 +751,89 @@ let lint_cmd =
     (Cmd.info "lint" ~doc ~man)
     Term.(
       const lint_main $ lint_category $ lint_severity $ lint_json
-      $ lint_rules $ lint_quiet)
+      $ lint_rules $ lint_quiet $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* report: render and compare run manifests                            *)
+(* ------------------------------------------------------------------ *)
+
+let changes_to_json changes =
+  Jsonio.List
+    (List.map
+       (fun (c : Obs.Manifest.change) ->
+         Jsonio.Obj
+           [
+             ("path", Jsonio.Str c.Obs.Manifest.path);
+             ("timing", Jsonio.Bool c.Obs.Manifest.timing);
+             ("before", Jsonio.Str c.Obs.Manifest.before);
+             ("after", Jsonio.Str c.Obs.Manifest.after);
+           ])
+       changes)
+
+let report_main files diff json =
+  let load = load_manifest ~command:"report" in
+  if diff then begin
+    match files with
+    | [ a; b ] ->
+      let changes = Obs.Manifest.diff (load a) (load b) in
+      if json then
+        print_string (Jsonio.to_string (changes_to_json changes) ^ "\n")
+      else print_string (Obs.Manifest.render_changes changes);
+      (* Timing deltas are expected between any two runs; a non-timing
+         difference means the runs were not equivalent. *)
+      if Obs.Manifest.non_timing changes <> [] then exit 1
+    | _ ->
+      prerr_endline "analyze report: --diff takes exactly two manifest FILEs";
+      exit 2
+  end
+  else
+    match files with
+    | [ path ] ->
+      let m = load path in
+      if json then
+        print_string (Jsonio.to_string (Obs.Manifest.to_json m) ^ "\n")
+      else print_string (Obs.Manifest.render m)
+    | _ ->
+      prerr_endline
+        "analyze report: give one manifest FILE (or --diff FILE FILE)";
+      exit 2
+
+let report_cmd =
+  let doc = "Render a run manifest, or compare two field by field" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads manifests written by 'analyze --manifest', 'analyze merge \
+         --manifest' or the benchmark harness.  Decoding is strict: \
+         unknown schema versions, foreign histogram schemes and a config \
+         section that no longer matches its recorded digest are rejected.";
+      `P
+        "With $(b,--diff), every field of the two manifests is compared \
+         and classified as a timing delta (durations, quantiles, \
+         histogram shapes, GC words — expected to differ between runs) or \
+         a non-timing difference (config, counters, totals, lint, \
+         artifact hashes — identical configs must agree).  The exit \
+         status is 1 if any non-timing field differs.";
+    ]
+  in
+  let files =
+    let doc = "Manifest file(s): one to render, two with $(b,--diff)." in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let diff =
+    let doc = "Compare two manifests field by field; exit 1 on any \
+               non-timing difference." in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let json =
+    let doc = "Emit canonical JSON (the manifest itself, or the change \
+               list under --diff) instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc ~man)
+    Term.(const report_main $ files $ diff $ json)
 
 let cmd =
   let doc =
@@ -693,9 +844,10 @@ let cmd =
   let default =
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
-      $ csv_file $ auto_tau $ trace_file $ stats_flag $ shards_flag
+      $ csv_file $ auto_tau $ obs_term $ manifest_file $ shards_flag
       $ preflight_flag)
   in
-  Cmd.group ~default info [ explain_cmd; shard_cmd; merge_cmd; lint_cmd ]
+  Cmd.group ~default info
+    [ explain_cmd; shard_cmd; merge_cmd; lint_cmd; report_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -48,11 +48,24 @@ let set_preflight h = preflight_hook := h
 
 let preflight_installed () = !preflight_hook <> None
 
+(* Severity counts of the most recent pre-flight, kept so the run
+   manifest can record what the gate saw.  Always refreshed by
+   [preflight_check] (None when no hook is installed). *)
+let last_lint : Obs.Manifest.lint_summary option ref = ref None
+
 let preflight_check category =
   match !preflight_hook with
-  | None -> ()
+  | None -> last_lint := None
   | Some lint ->
-    let errors = Diagnostic.errors (lint category) in
+    let diags = lint category in
+    last_lint :=
+      Some
+        {
+          Obs.Manifest.errors = Diagnostic.count Diagnostic.Error diags;
+          warns = Diagnostic.count Diagnostic.Warn diags;
+          infos = Diagnostic.count Diagnostic.Info diags;
+        };
+    let errors = Diagnostic.errors diags in
     if errors <> [] then raise (Preflight_failed errors)
 
 type result = {
@@ -307,105 +320,124 @@ let downstream ~config ~category ~basis ~signatures ~classified () =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Sharded drivers                                                     *)
+(* Run manifests                                                       *)
+(*                                                                     *)
+(* Like the pre-flight gate, manifest emission is hook-installed and   *)
+(* off by default: with no hook the drivers below cost one ref check   *)
+(* and remain bit-identical to a build without manifests.  When a      *)
+(* hook is installed (Stage.set_manifest, wired by analyze --manifest  *)
+(* and the bench harness), every run scopes a Recorder sink around     *)
+(* itself, snapshots it into a schema-versioned Obs.Manifest.t —       *)
+(* config digest, per-stage span timings + latency histograms + GC     *)
+(* deltas, counters/gauges, ledger fate totals, the lint summary and   *)
+(* content hashes of any shard/ledger artifacts — and hands it to the  *)
+(* hook.                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let split_ledger (l : Provenance.Ledger.t) ranges =
-  let arr = Array.of_list l.Provenance.Ledger.entries in
-  List.filter_map
-    (fun { lo; hi } ->
-      if lo >= hi then None
-      else
-        Some
-          {
-            l with
-            Provenance.Ledger.entries = Array.to_list (Array.sub arr lo (hi - lo));
-          })
-    ranges
+let manifest_hook : (Obs.Manifest.t -> unit) option ref = ref None
 
-let run_merged ~category shards =
-  let merged =
-    match
-      Obs.span "shard-merge" (fun () ->
-          if Obs.enabled () then
-            Obs.attr_int "shards" (List.length shards);
-          merge_shards shards)
-    with
-    | Ok m -> m
-    | Error msg -> invalid_arg ("Stage.run_merged: " ^ msg)
-  in
-  if merged.category <> Category.name category then
-    invalid_arg
-      (Printf.sprintf "Stage.run_merged: shards are for category %s, not %s"
-         merged.category (Category.name category));
-  if merged.machine <> Category.machine category then
-    invalid_arg
-      (Printf.sprintf "Stage.run_merged: shards are for machine %s, not %s"
-         merged.machine (Category.machine category));
-  let config = merged.shard_config in
-  (* The shards never emit provenance (they may have lived in another
-     process); the noise facts re-enter here, in catalog order, so the
-     final ledger is bit-identical to the monolithic run's. *)
-  if Provenance.recording () then begin
-    Provenance.begin_run ();
-    List.iter
-      (fun (c : Noise_filter.classified) ->
-        Provenance.emit_noise ~event:c.event.Hwsim.Event.name
-          ~description:c.event.Hwsim.Event.description ~measure:merged.measure
-          ~variability:c.variability ~tau:config.tau
-          ~status:(Noise_filter.provenance_status c.status))
-      merged.entries
-  end;
-  let r =
-    downstream ~config ~category ~basis:(Category.basis category)
-      ~signatures:(Category.signatures category) ~classified:merged.entries ()
-  in
-  (* Reassemble the recorded ledger through Ledger.merge: split at the
-     shard boundaries and fold the per-shard audit documents back into
-     one — every sharded run exercises the conflict-detecting merge,
-     and the result is the same coherent document (entries concatenate
-     in catalog order). *)
-  (match r.ledger with
-  | None -> ()
-  | Some l ->
-    let ranges =
-      List.sort compare (List.map (fun s -> (s.range.lo, s.range.hi)) shards)
-      |> List.map (fun (lo, hi) -> { lo; hi })
-    in
-    let folded =
-      match split_ledger l ranges with
-      | [] -> l
-      | piece :: rest ->
-        List.fold_left
-          (fun acc p ->
-            match Provenance.Ledger.merge acc p with
-            | Ok m -> m
-            | Error msg ->
-              invalid_arg ("Stage.run_merged: ledger merge: " ^ msg))
-          piece rest
-    in
-    r.ledger <- Some folded);
-  r
+let set_manifest h = manifest_hook := h
 
-let run_sharded ?config ~shards category =
-  let config =
-    match config with Some c -> c | None -> default_config category
-  in
-  preflight_check category;
-  Obs.span "pipeline" (fun () ->
-      Obs.attr_str "category" (Category.name category);
-      if Obs.enabled () then Obs.attr_int "shards" shards;
-      let ranges =
-        shard_ranges ~shards ~total:(Category.catalog_size category)
-      in
-      let classified_shards =
-        List.map
-          (fun range ->
-            classify_shard ~config ~category
-              (collect_shard ~reps:config.reps category range))
-          ranges
-      in
-      run_merged ~category classified_shards)
+let manifest_installed () = !manifest_hook <> None
+
+(* Reentrancy guard: run_sharded wraps itself, and calls run_merged,
+   which also wraps itself (so `analyze merge` gets a manifest too);
+   the inner wrap must be a no-op or one run would emit twice. *)
+let manifest_active = ref false
+
+let manifest_artifacts : (string * string) list ref = ref []
+
+let note_artifact name json =
+  if !manifest_active then
+    manifest_artifacts :=
+      (name, Obs.Manifest.fnv64_hex (Jsonio.to_string json))
+      :: !manifest_artifacts
+
+let fate_totals (r : result) =
+  let events = List.length r.classified in
+  let kept = Noise_filter.count r.classified Noise_filter.Kept in
+  let noisy = Noise_filter.count r.classified Noise_filter.Too_noisy in
+  let all_zero = Noise_filter.count r.classified Noise_filter.All_zero in
+  let accepted = List.length r.projected in
+  let chosen = Array.length r.chosen in
+  let f = float_of_int in
+  [
+    ("events", f events);
+    ("all_zero", f all_zero);
+    ("noisy", f noisy);
+    ("kept", f kept);
+    ("accepted", f accepted);
+    ("unrepresentable", f (kept - accepted));
+    ("eliminated", f (accepted - chosen));
+    ("chosen", f chosen);
+  ]
+
+let config_pairs ~category ~config ~shards (r : result) =
+  let g = Printf.sprintf "%.17g" in
+  [
+    ("category", Category.name category);
+    ("machine", Category.machine category);
+    ("tau", g config.tau);
+    ("alpha", g config.alpha);
+    ( "beta",
+      g (Special_qrcp.beta ~alpha:config.alpha ~rows:(Linalg.Mat.rows r.x)) );
+    ("projection_tol", g config.projection_tol);
+    ("reps", string_of_int config.reps);
+    ("shards", string_of_int shards);
+  ]
+
+let gc_pairs (d : Obs.Gc_sample.t) =
+  let f = float_of_int in
+  [
+    ("minor_words", d.Obs.Gc_sample.minor_words);
+    ("promoted_words", d.Obs.Gc_sample.promoted_words);
+    ("major_words", d.Obs.Gc_sample.major_words);
+    ("minor_collections", f d.Obs.Gc_sample.minor_collections);
+    ("major_collections", f d.Obs.Gc_sample.major_collections);
+    ("compactions", f d.Obs.Gc_sample.compactions);
+    ("heap_words", f d.Obs.Gc_sample.heap_words);
+    ("top_heap_words", f d.Obs.Gc_sample.top_heap_words);
+  ]
+
+let with_manifest ~source ~category ~config ~shards f =
+  match !manifest_hook with
+  | Some emit when not !manifest_active ->
+    manifest_active := true;
+    manifest_artifacts := [];
+    last_lint := None;
+    let recorder = Obs.Recorder.create () in
+    let sink = Obs.Recorder.sink recorder in
+    Obs.install sink;
+    let gc_before = Obs.Gc_sample.take () in
+    let finish () =
+      Obs.uninstall sink;
+      manifest_active := false
+    in
+    let r =
+      try f ()
+      with e ->
+        finish ();
+        manifest_artifacts := [];
+        raise e
+    in
+    let gc_delta =
+      Obs.Gc_sample.delta ~before:gc_before ~after:(Obs.Gc_sample.take ())
+    in
+    (match r.ledger with
+    | Some l -> note_artifact "ledger" (Provenance.Ledger.to_json l)
+    | None -> ());
+    finish ();
+    let artifacts = List.rev !manifest_artifacts in
+    manifest_artifacts := [];
+    let m =
+      Obs.Manifest.of_recorder ~source ~label:(Category.name category)
+        ~config:(config_pairs ~category ~config ~shards r)
+        ~totals:(fate_totals r) ~gc:(gc_pairs gc_delta) ?lint:!last_lint
+        ~artifacts recorder
+    in
+    emit m;
+    r
+  | _ -> f ()
 
 (* ------------------------------------------------------------------ *)
 (* Shard artifact JSON (versioned, non-finite-safe)                    *)
@@ -612,3 +644,156 @@ let shard_equal a b =
   && a.range = b.range && a.total = b.total
   && a.row_labels = b.row_labels && a.measure = b.measure
   && List.equal entry_equal a.entries b.entries
+
+(* ------------------------------------------------------------------ *)
+(* Sharded drivers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let split_ledger (l : Provenance.Ledger.t) ranges =
+  let arr = Array.of_list l.Provenance.Ledger.entries in
+  List.filter_map
+    (fun { lo; hi } ->
+      if lo >= hi then None
+      else
+        Some
+          {
+            l with
+            Provenance.Ledger.entries = Array.to_list (Array.sub arr lo (hi - lo));
+          })
+    ranges
+
+let run_merged_inner ~category shards =
+  (* When a manifest is being collected, content-hash each incoming
+     shard artifact (its canonical JSON) before touching it — the
+     manifest then proves which inputs the run consumed.  Off the
+     manifest path this serializes nothing. *)
+  if !manifest_active then
+    List.iter
+      (fun s -> note_artifact ("shard" ^ range_pp s.range) (shard_to_json s))
+      shards;
+  let merged =
+    match
+      Obs.span "shard-merge" (fun () ->
+          if Obs.enabled () then
+            Obs.attr_int "shards" (List.length shards);
+          merge_shards shards)
+    with
+    | Ok m -> m
+    | Error msg -> invalid_arg ("Stage.run_merged: " ^ msg)
+  in
+  if merged.category <> Category.name category then
+    invalid_arg
+      (Printf.sprintf "Stage.run_merged: shards are for category %s, not %s"
+         merged.category (Category.name category));
+  if merged.machine <> Category.machine category then
+    invalid_arg
+      (Printf.sprintf "Stage.run_merged: shards are for machine %s, not %s"
+         merged.machine (Category.machine category));
+  let config = merged.shard_config in
+  (* The shards never emit provenance (they may have lived in another
+     process); the noise facts re-enter here, in catalog order, so the
+     final ledger is bit-identical to the monolithic run's. *)
+  if Provenance.recording () then begin
+    Provenance.begin_run ();
+    List.iter
+      (fun (c : Noise_filter.classified) ->
+        Provenance.emit_noise ~event:c.event.Hwsim.Event.name
+          ~description:c.event.Hwsim.Event.description ~measure:merged.measure
+          ~variability:c.variability ~tau:config.tau
+          ~status:(Noise_filter.provenance_status c.status))
+      merged.entries
+  end;
+  let r =
+    downstream ~config ~category ~basis:(Category.basis category)
+      ~signatures:(Category.signatures category) ~classified:merged.entries ()
+  in
+  (* Reassemble the recorded ledger through Ledger.merge: split at the
+     shard boundaries and fold the per-shard audit documents back into
+     one — every sharded run exercises the conflict-detecting merge,
+     and the result is the same coherent document (entries concatenate
+     in catalog order). *)
+  (match r.ledger with
+  | None -> ()
+  | Some l ->
+    let ranges =
+      List.sort compare (List.map (fun s -> (s.range.lo, s.range.hi)) shards)
+      |> List.map (fun (lo, hi) -> { lo; hi })
+    in
+    let folded =
+      match split_ledger l ranges with
+      | [] -> l
+      | piece :: rest ->
+        List.fold_left
+          (fun acc p ->
+            match Provenance.Ledger.merge acc p with
+            | Ok m -> m
+            | Error msg ->
+              invalid_arg ("Stage.run_merged: ledger merge: " ^ msg))
+          piece rest
+    in
+    r.ledger <- Some folded);
+  r
+
+let run_merged ~category shards =
+  match shards with
+  | [] -> run_merged_inner ~category shards (* raises the merge error *)
+  | first :: _ ->
+    with_manifest ~source:"pipeline-merge" ~category
+      ~config:first.shard_config ~shards:(List.length shards) (fun () ->
+        run_merged_inner ~category shards)
+
+(* DESIGN.md §11's counter contract, asserted at runtime whenever the
+   collector is live: across one sharded front, the shard.events /
+   shard.kept deltas must equal the catalog size and the
+   noise_filter.kept delta (publish_tallies runs per shard, so the
+   noise_filter.* deltas are themselves the monolithic totals). *)
+let check_shard_counter_invariant ~category ~before:(ev0, kp0, nf_kept0) =
+  let d name v0 = Obs.counter name -. v0 in
+  let d_events = d "shard.events" ev0 in
+  let d_kept = d "shard.kept" kp0 in
+  let d_nf_kept = d "noise_filter.kept" nf_kept0 in
+  let total = float_of_int (Category.catalog_size category) in
+  if not (Float.equal d_events total) then
+    failwith
+      (Printf.sprintf
+         "Stage.run_sharded: counter invariant violated: shard.events \
+          advanced by %g for a %g-event catalog"
+         d_events total);
+  if not (Float.equal d_kept d_nf_kept) then
+    failwith
+      (Printf.sprintf
+         "Stage.run_sharded: counter invariant violated: shard.kept advanced \
+          by %g but noise_filter.kept by %g"
+         d_kept d_nf_kept)
+
+let run_sharded ?config ~shards category =
+  let config =
+    match config with Some c -> c | None -> default_config category
+  in
+  with_manifest ~source:"pipeline" ~category ~config ~shards (fun () ->
+      preflight_check category;
+      Obs.span "pipeline" (fun () ->
+          Obs.attr_str "category" (Category.name category);
+          if Obs.enabled () then Obs.attr_int "shards" shards;
+          let ranges =
+            shard_ranges ~shards ~total:(Category.catalog_size category)
+          in
+          let before =
+            if Obs.enabled () then
+              Some
+                ( Obs.counter "shard.events",
+                  Obs.counter "shard.kept",
+                  Obs.counter "noise_filter.kept" )
+            else None
+          in
+          let classified_shards =
+            List.map
+              (fun range ->
+                classify_shard ~config ~category
+                  (collect_shard ~reps:config.reps category range))
+              ranges
+          in
+          (match before with
+          | Some b -> check_shard_counter_invariant ~category ~before:b
+          | None -> ());
+          run_merged ~category classified_shards))

@@ -79,6 +79,43 @@ val preflight_check : Category.t -> unit
     diagnostic has error severity; a no-op when no hook is
     installed. *)
 
+(** {1 Run manifests}
+
+    Manifest emission follows the same hook discipline as the
+    pre-flight gate: off by default (one ref check, bit-identical
+    behaviour), and when a hook is installed every {!Pipeline.run},
+    {!run_sharded} and {!run_merged} scopes an {!Obs.Recorder} around
+    itself and hands the hook a schema-versioned {!Obs.Manifest.t}
+    carrying the config digest (category, machine, τ/α/β, projection
+    tolerance, reps, shard count), per-stage span timings with latency
+    histograms and GC deltas, all counters and gauges, the ledger fate
+    totals, the latest pre-flight lint summary and content hashes of
+    the shard/ledger artifacts the run consumed or produced. *)
+
+val set_manifest : (Obs.Manifest.t -> unit) option -> unit
+(** Install (or, with [None], remove) the manifest emission hook. *)
+
+val manifest_installed : unit -> bool
+
+val with_manifest :
+  source:string ->
+  category:Category.t ->
+  config:config ->
+  shards:int ->
+  (unit -> result) ->
+  result
+(** Run [f] under scoped manifest collection and emit the manifest to
+    the installed hook.  Exactly [f ()] when no hook is installed;
+    reentrant calls (run_sharded wrapping run_merged) collect once,
+    at the outermost scope.  On exception the recorder is torn down
+    and nothing is emitted. *)
+
+val fate_totals : result -> (string * float) list
+(** The ledger fate totals of a finished run, recomputed from the
+    stage outputs (events / all_zero / noisy / kept / accepted /
+    unrepresentable / eliminated / chosen) — what the manifest's
+    [totals] table records. *)
+
 (** {1 Shard geometry} *)
 
 type range = { lo : int; hi : int }

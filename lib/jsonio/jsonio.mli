@@ -19,6 +19,11 @@ val to_string : ?indent:int -> t -> string
     strings are escaped per RFC 8259.  Non-finite numbers are emitted
     as [null] (JSON has no representation for them). *)
 
+val to_string_compact : t -> string
+(** Single-line rendering (no whitespace) — for line-oriented logs
+    like the benchmark trajectory (JSONL).  Parses back with
+    {!of_string} exactly like the pretty form. *)
+
 val escape_string : string -> string
 (** The quoted, escaped form of a string (exposed for tests). *)
 

@@ -1,0 +1,26 @@
+(** GC and allocation sampling over [Gc.quick_stat] (no heap walk, no
+    collection forced).  Samples double as absolute snapshots
+    ({!take}) and as deltas between snapshots ({!delta}); the
+    recorder accumulates per-stage deltas for the run manifest. *)
+
+type t = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;  (** Absolute heap size at sample time (words). *)
+  top_heap_words : int;  (** Process-wide peak at sample time. *)
+}
+
+val zero : t
+
+val take : unit -> t
+
+val delta : before:t -> after:t -> t
+(** Counters subtract; [heap_words]/[top_heap_words] keep the [after]
+    reading. *)
+
+val add : t -> t -> t
+(** Counters add; heap levels take the max (peak across stages). *)

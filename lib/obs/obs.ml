@@ -3,6 +3,10 @@ module Clock = Clock
 module Chrome_trace = Chrome_trace
 module Summary = Summary
 module Memory = Memory
+module Histogram = Histogram
+module Gc_sample = Gc_sample
+module Recorder = Recorder
+module Manifest = Manifest
 
 type open_span = {
   id : int;
@@ -23,6 +27,10 @@ let enabled () = !enabled_flag
 let install sink =
   sinks := !sinks @ [ sink ];
   enabled_flag := true
+
+let uninstall sink =
+  sinks := List.filter (fun s -> s != sink) !sinks;
+  if !sinks = [] then enabled_flag := false
 
 let reset_counters () =
   Hashtbl.reset counters_tbl;

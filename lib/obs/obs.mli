@@ -24,6 +24,10 @@ module Clock = Clock
 module Chrome_trace = Chrome_trace
 module Summary = Summary
 module Memory = Memory
+module Histogram = Histogram
+module Gc_sample = Gc_sample
+module Recorder = Recorder
+module Manifest = Manifest
 
 val enabled : unit -> bool
 (** True iff at least one sink is installed.  The disabled fast path
@@ -31,6 +35,13 @@ val enabled : unit -> bool
 
 val install : Sink.t -> unit
 (** Add a sink (multiple sinks all receive every event). *)
+
+val uninstall : Sink.t -> unit
+(** Remove one previously installed sink (matched by physical
+    equality); counters, gauges and other sinks are untouched.  When
+    the last sink goes, the collector returns to the zero-overhead
+    disabled state.  Used for scoped collection (e.g. manifest
+    recording around one run). *)
 
 val clear : unit -> unit
 (** Remove all sinks, drop any open spans, and reset all counters and

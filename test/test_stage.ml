@@ -268,15 +268,26 @@ let test_shard_counters_sum () =
     +. Obs.counter "noise_filter.too_noisy"
     +. Obs.counter "noise_filter.all_zero"
   in
-  Obs.reset_counters ();
-  let _ = Core.Pipeline.run ~shards:3 category in
-  Alcotest.(check (float 0.0))
-    "shard.events sums to the catalog" mono_total (Obs.counter "shard.events");
-  Alcotest.(check (float 0.0))
-    "shard.kept sums to monolithic kept" mono_kept (Obs.counter "shard.kept");
-  Alcotest.(check (float 0.0))
-    "noise_filter.kept agrees across modes" mono_kept
-    (Obs.counter "noise_filter.kept")
+  (* run_sharded itself asserts these sums at runtime (it raises if
+     the per-shard deltas do not reconcile with the catalog and the
+     monolithic noise-filter totals), so each sharded run below also
+     exercises that invariant with a live sink. *)
+  List.iter
+    (fun shards ->
+      Obs.reset_counters ();
+      let _ = Core.Pipeline.run ~shards category in
+      let tag msg = Printf.sprintf "%s (shards=%d)" msg shards in
+      Alcotest.(check (float 0.0))
+        (tag "shard.events sums to the catalog")
+        mono_total (Obs.counter "shard.events");
+      Alcotest.(check (float 0.0))
+        (tag "shard.kept sums to monolithic kept")
+        mono_kept (Obs.counter "shard.kept");
+      Alcotest.(check (float 0.0))
+        (tag "noise_filter.kept agrees across modes")
+        mono_kept
+        (Obs.counter "noise_filter.kept"))
+    [ 2; 3; 5 ]
 
 (* ------------------------------------------------------------------ *)
 (* Explain-on-merged: exactly one fate per entry                       *)
