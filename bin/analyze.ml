@@ -112,6 +112,29 @@ let with_obs ?(render_stats = true) (trace, stats) f =
   | _ -> ());
   result
 
+let backend_flag =
+  let doc = "Raw storage backend for the numeric core: floatarray (the \
+             portable reference) or bigarray (C-layout Bigarray.Array1, \
+             GC-opaque).  Both execute identical floating-point operations \
+             in identical order, so chosen events, metrics and the \
+             provenance ledger are byte-identical; the active name is \
+             recorded in the run manifest's config (and its digest)." in
+  Arg.(value & opt (some string) None & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+(* Backend-name validation goes through the lint rule so a bad value is
+   a typed pre-flight diagnostic (param/unknown-backend) naming this
+   build's alternatives, not an argv failure. *)
+let set_backend backend =
+  Option.iter
+    (fun name ->
+      match Check.Param_check.check_backend name with
+      | [] ->
+        Option.iter Core.Backend.set_default (Core.Backend.of_name name)
+      | ds ->
+        List.iter (fun d -> prerr_endline (Core.Diagnostic.render d)) ds;
+        exit 1)
+    backend
+
 let shards_flag =
   let doc = "Split data collection and noise filtering into $(docv) \
              catalog-range shards (merged deterministically before \
@@ -239,7 +262,8 @@ let run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
   print_newline ()
 
 let main category tau alpha proj_tol reps sections csv auto_tau obs manifest
-    shards preflight =
+    shards preflight backend =
+  set_backend backend;
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if shards < 1 then begin
     prerr_endline "analyze: --shards must be at least 1";
@@ -382,7 +406,8 @@ let smoke_category ?(shards = 1) category =
   check "chosen" chosen;
   check "discarded" discarded
 
-let explain_main category event all fate json smoke shards obs =
+let explain_main category event all fate json smoke shards backend obs =
+  set_backend backend;
   with_obs obs @@ fun ~summary:_ ->
   let module L = Provenance.Ledger in
   if smoke then begin
@@ -479,13 +504,14 @@ let explain_cmd =
     Term.(
       const explain_main $ explain_category $ explain_event $ explain_all
       $ explain_fate $ explain_json $ explain_smoke $ explain_shards
-      $ obs_term)
+      $ backend_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* shard / merge: the serialized staged pipeline                       *)
 (* ------------------------------------------------------------------ *)
 
-let shard_main category index shards out tau alpha proj_tol reps obs =
+let shard_main category index shards out tau alpha proj_tol reps backend obs =
+  set_backend backend;
   with_obs obs @@ fun ~summary:_ ->
   let category =
     match category with
@@ -560,9 +586,10 @@ let shard_cmd =
     (Cmd.info "shard" ~doc ~man)
     Term.(
       const shard_main $ explain_category $ index $ shards $ out $ tau $ alpha
-      $ proj_tol $ reps $ obs_term)
+      $ proj_tol $ reps $ backend_flag $ obs_term)
 
-let merge_main files sections json manifest obs =
+let merge_main files sections json manifest backend obs =
+  set_backend backend;
   with_obs obs @@ fun ~summary:_ ->
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if files = [] then begin
@@ -643,7 +670,9 @@ let merge_cmd =
   in
   Cmd.v
     (Cmd.info "merge" ~doc ~man)
-    Term.(const merge_main $ files $ sections $ json $ manifest_file $ obs_term)
+    Term.(
+      const merge_main $ files $ sections $ json $ manifest_file
+      $ backend_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* lint: the static pre-flight analyzer                                *)
@@ -661,11 +690,21 @@ let severity_conv =
       fun ppf s ->
         Format.pp_print_string ppf (Core.Diagnostic.severity_name s) )
 
-let lint_main category severity json rules_flag quiet obs =
+let lint_main category severity json rules_flag quiet backend obs =
   with_obs obs @@ fun ~summary:_ ->
   if rules_flag then print_string (Check.rules_table ())
   else begin
+    (* --backend participates in the pass itself: an unknown name is a
+       param/unknown-backend diagnostic in the report (and the exit
+       status), not an argv failure. *)
+    let backend_diags =
+      match backend with
+      | None -> []
+      | Some name -> Check.Param_check.check_backend name
+    in
     let diagnostics =
+      backend_diags
+      @
       match category with
       | Some c -> Check.run_all ~categories:[ c ] ()
       | None -> Check.run_all ()
@@ -751,7 +790,7 @@ let lint_cmd =
     (Cmd.info "lint" ~doc ~man)
     Term.(
       const lint_main $ lint_category $ lint_severity $ lint_json
-      $ lint_rules $ lint_quiet $ obs_term)
+      $ lint_rules $ lint_quiet $ backend_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* report: render and compare run manifests                            *)
@@ -775,13 +814,39 @@ let report_main files diff json =
   if diff then begin
     match files with
     | [ a; b ] ->
-      let changes = Obs.Manifest.diff (load a) (load b) in
+      let ma = load a and mb = load b in
+      let changes = Obs.Manifest.diff ma mb in
+      let cross = Obs.Manifest.cross_backend ma mb in
       if json then
         print_string (Jsonio.to_string (changes_to_json changes) ^ "\n")
-      else print_string (Obs.Manifest.render_changes changes);
+      else begin
+        Option.iter
+          (fun (ba, bb) ->
+            Printf.printf
+              "cross-backend comparison: %s vs %s (config.backend and \
+               config_digest are expected to differ; everything else \
+               must still agree)\n"
+              ba bb)
+          cross;
+        print_string (Obs.Manifest.render_changes changes)
+      end;
       (* Timing deltas are expected between any two runs; a non-timing
-         difference means the runs were not equivalent. *)
-      if Obs.Manifest.non_timing changes <> [] then exit 1
+         difference means the runs were not equivalent.  Across
+         backends the recorded backend name (and hence the config
+         digest) differs by construction — those two fields are the
+         labeled signature of a cross-backend comparison, and any
+         *other* non-timing difference still fails: the backends
+         promise byte-identical outputs. *)
+      let expected_cross path =
+        cross <> None
+        && (path = "config.backend" || path = "config_digest")
+      in
+      let gating =
+        List.filter
+          (fun (c : Obs.Manifest.change) -> not (expected_cross c.Obs.Manifest.path))
+          (Obs.Manifest.non_timing changes)
+      in
+      if gating <> [] then exit 1
     | _ ->
       prerr_endline "analyze report: --diff takes exactly two manifest FILEs";
       exit 2
@@ -815,6 +880,13 @@ let report_cmd =
          a non-timing difference (config, counters, totals, lint, \
          artifact hashes — identical configs must agree).  The exit \
          status is 1 if any non-timing field differs.";
+      `P
+        "When the two manifests record different storage backends \
+         (config key 'backend'), the comparison is labeled cross-backend: \
+         the backend name and the config digest differ by construction \
+         and are exempt from the exit status, while every other \
+         non-timing field must still agree — the backends promise \
+         byte-identical outputs.";
     ]
   in
   let files =
@@ -845,7 +917,7 @@ let cmd =
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
       $ csv_file $ auto_tau $ obs_term $ manifest_file $ shards_flag
-      $ preflight_flag)
+      $ preflight_flag $ backend_flag)
   in
   Cmd.group ~default info
     [ explain_cmd; shard_cmd; merge_cmd; lint_cmd; report_cmd ]

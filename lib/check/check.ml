@@ -107,6 +107,9 @@ let rules =
       "Relative residuals live in [0, 1]";
     rule "param/reps-too-few" D.Error "Fewer than 2 repetitions"
       "Eq. 4 is pairwise over repetition vectors";
+    rule "param/unknown-backend" D.Error
+      "Unknown storage backend name"
+      "[--backend] selects a compiled Linalg storage backend";
     rule "stage/schema-drift" D.Error
       "Shard artifact encoder and decoder disagree"
       "Multi-machine sweeps ship classified-shard JSON between builds";

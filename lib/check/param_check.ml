@@ -110,6 +110,22 @@ let check_reps ?category reps =
     ]
   else []
 
+(* A backend name is pipeline configuration like tau or alpha: a bad
+   value should be a typed pre-flight diagnostic naming the compiled
+   alternatives, not an argv failure. *)
+let check_backend ?category name =
+  match Linalg.Backend.of_name name with
+  | Some _ -> []
+  | None ->
+    [
+      diag ?category
+        ~data:[ ("backend", Jsonio.Str name) ]
+        "param/unknown-backend" D.Error "backend"
+        "unknown storage backend %S: this build compiles %s"
+        name
+        (String.concat ", " Linalg.Backend.names);
+    ]
+
 let analyze ?category ?beta ~(config : Core.Pipeline.config) ~rows () =
   let beta =
     match beta with

@@ -35,6 +35,11 @@ val check_projection_tol :
 val check_reps : ?category:string -> int -> Core.Diagnostic.t list
 (** [param/reps-too-few] (error, fewer than 2 repetitions). *)
 
+val check_backend : ?category:string -> string -> Core.Diagnostic.t list
+(** [param/unknown-backend] (error): the name does not identify a
+    compiled storage backend ({!Linalg.Backend.of_name}); the message
+    lists this build's valid names. *)
+
 val analyze :
   ?category:string ->
   ?beta:float ->

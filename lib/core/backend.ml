@@ -1,0 +1,9 @@
+(* The first-class storage-backend value, re-exported so pipeline
+   stages and CLI code select backends without depending on linalg
+   internals.  [Core.Backend.set_default]/[with_default] govern which
+   storage every fresh vector/matrix allocates in; all pipeline
+   modules (Special_qrcp, Projection, Noise_filter, Metric_solver,
+   Bootstrap, Report) are backend-agnostic — they see only abstract
+   Vec/Mat values and inherit whatever the ambient default says. *)
+
+include Linalg.Backend

@@ -1,0 +1,19 @@
+(** Storage-backend selection for the pipeline (re-export of
+    {!Linalg.Backend}).
+
+    The numeric core runs on swappable raw storage — [floatarray]
+    (portable reference) or C-layout [Bigarray] (GC-opaque, the
+    substrate for external BLAS and cross-domain panels).  Pipeline
+    stages never mention a backend: fresh vectors and matrices
+    allocate in {!default}, derived values inherit their inputs'
+    backend, and both backends execute identical FP operations in
+    identical order, so chosen events, metrics and the provenance
+    ledger are byte-identical across backends.
+
+    Select with {!set_default} (CLI: [analyze --backend]) or scope a
+    computation with {!with_default}.  The active backend's name is
+    recorded in every run manifest's config (and so in its digest). *)
+
+include module type of struct
+  include Linalg.Backend
+end

@@ -12,10 +12,15 @@ let score_value v =
   let v = Float.abs v in
   if v = 0.0 then 0.0 else if v >= 1.0 then v else 1.0 /. v
 
-let column_score ~alpha col =
-  Linalg.Vec.fold_left
+(* Scoring streams the column through a no-copy view in ascending row
+   order — the same accumulation order as a fold over a materialized
+   column vector, so scores are bit-identical to the copying path. *)
+let column_score_view ~alpha col =
+  Linalg.Kernel.fold_left
     (fun acc u -> acc +. score_value (round_value ~alpha u))
     0.0 col
+
+let column_score ~alpha col = column_score_view ~alpha (Linalg.Vec.view col)
 
 let beta ~alpha ~rows = alpha *. sqrt (float_of_int rows)
 
@@ -95,7 +100,9 @@ let factor_full ~alpha x =
   if m = 0 || n = 0 then invalid_arg "Special_qrcp.factor: empty matrix";
   let a = Linalg.Mat.copy x in
   let perm = Array.init n (fun j -> j) in
-  let scores0 = Array.init n (fun j -> column_score ~alpha (Linalg.Mat.col x j)) in
+  let scores0 =
+    Array.init n (fun j -> column_score_view ~alpha (Linalg.Mat.col_view x j))
+  in
   let steps = min m n in
   let scores = Array.make steps 0.0 in
   let beta_threshold = beta ~alpha ~rows:m in

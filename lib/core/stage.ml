@@ -377,6 +377,10 @@ let config_pairs ~category ~config ~shards (r : result) =
   [
     ("category", Category.name category);
     ("machine", Category.machine category);
+    (* The storage backend enters the config digest, so manifests from
+       different backends diff as explicit config drift rather than
+       silent timing drift (`analyze report --diff` labels it). *)
+    ("backend", Linalg.Backend.name (Linalg.Backend.default ()));
     ("tau", g config.tau);
     ("alpha", g config.alpha);
     ( "beta",

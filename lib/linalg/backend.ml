@@ -1,0 +1,191 @@
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module type S = sig
+  type t
+
+  val name : string
+  val alloc : int -> t
+  val make : int -> float -> t
+  val length : t -> int
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  val unsafe_get : t -> int -> float
+  val unsafe_set : t -> int -> float -> unit
+  val fill : t -> pos:int -> len:int -> float -> unit
+  val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+  val sub : t -> pos:int -> len:int -> t
+  val of_floatarray : floatarray -> t
+  val to_floatarray : t -> floatarray
+end
+
+module Floatarray = struct
+  type t = floatarray
+
+  let name = "floatarray"
+
+  (* Element access is re-declared as the compiler primitives so that
+     modules aliasing this one (the generated monomorphic kernels)
+     compile each access to a single load/store. *)
+  external length : t -> int = "%floatarray_length"
+  external get : t -> int -> float = "%floatarray_safe_get"
+  external set : t -> int -> float -> unit = "%floatarray_safe_set"
+  external unsafe_get : t -> int -> float = "%floatarray_unsafe_get"
+  external unsafe_set : t -> int -> float -> unit = "%floatarray_unsafe_set"
+
+  let alloc n = Float.Array.create n
+  let make n x = Float.Array.make n x
+  let fill a ~pos ~len x = Float.Array.fill a pos len x
+
+  let blit ~src ~src_pos ~dst ~dst_pos ~len =
+    Float.Array.blit src src_pos dst dst_pos len
+
+  let sub a ~pos ~len = Float.Array.sub a pos len
+  let of_floatarray a = Float.Array.copy a
+  let to_floatarray a = Float.Array.copy a
+end
+
+module Bigarray_c = struct
+  type t = ba
+
+  let name = "bigarray"
+
+  external length : t -> int = "%caml_ba_dim_1"
+  external get : t -> int -> float = "%caml_ba_ref_1"
+  external set : t -> int -> float -> unit = "%caml_ba_set_1"
+  external unsafe_get : t -> int -> float = "%caml_ba_unsafe_ref_1"
+  external unsafe_set : t -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+
+  let alloc n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+  let make n x =
+    let a = alloc n in
+    Bigarray.Array1.fill a x;
+    a
+
+  let fill a ~pos ~len x = Bigarray.Array1.fill (Bigarray.Array1.sub a pos len) x
+
+  let blit ~src ~src_pos ~dst ~dst_pos ~len =
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub src src_pos len)
+      (Bigarray.Array1.sub dst dst_pos len)
+
+  let sub a ~pos ~len =
+    let r = alloc len in
+    Bigarray.Array1.blit (Bigarray.Array1.sub a pos len) r;
+    r
+
+  let of_floatarray fa =
+    let n = Float.Array.length fa in
+    let a = alloc n in
+    for i = 0 to n - 1 do
+      unsafe_set a i (Float.Array.unsafe_get fa i)
+    done;
+    a
+
+  let to_floatarray a =
+    let n = length a in
+    let fa = Float.Array.create n in
+    for i = 0 to n - 1 do
+      Float.Array.unsafe_set fa i (unsafe_get a i)
+    done;
+    fa
+end
+
+(* ------------------------------------------------------------------ *)
+(* Identifiers and the process default                                 *)
+(* ------------------------------------------------------------------ *)
+
+type id = Floatarray | Bigarray
+
+let all = [ Floatarray; Bigarray ]
+let name = function Floatarray -> "floatarray" | Bigarray -> "bigarray"
+let names = List.map name all
+
+let of_name = function
+  | "floatarray" -> Some Floatarray
+  | "bigarray" -> Some Bigarray
+  | _ -> None
+
+let module_of : id -> (module S) = function
+  | Floatarray -> (module Floatarray)
+  | Bigarray -> (module Bigarray_c)
+
+let default_id = ref Floatarray
+let default () = !default_id
+let set_default id = default_id := id
+
+let with_default id f =
+  let saved = !default_id in
+  default_id := id;
+  Fun.protect ~finally:(fun () -> default_id := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic storage                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type buf = Fa of Floatarray.t | Ba of Bigarray_c.t
+
+let id_of = function Fa _ -> Floatarray | Ba _ -> Bigarray
+
+let create_in id n =
+  match id with
+  | Floatarray -> Fa (Floatarray.make n 0.0)
+  | Bigarray -> Ba (Bigarray_c.make n 0.0)
+
+let create n = create_in !default_id n
+
+let init_in id n f =
+  match id with
+  | Floatarray ->
+    let a = Floatarray.alloc n in
+    for i = 0 to n - 1 do
+      Floatarray.unsafe_set a i (f i)
+    done;
+    Fa a
+  | Bigarray ->
+    let a = Bigarray_c.alloc n in
+    for i = 0 to n - 1 do
+      Bigarray_c.unsafe_set a i (f i)
+    done;
+    Ba a
+
+let init n f = init_in !default_id n f
+let length = function Fa a -> Floatarray.length a | Ba a -> Bigarray_c.length a
+
+let get b i =
+  match b with Fa a -> Floatarray.get a i | Ba a -> Bigarray_c.get a i
+
+let set b i x =
+  match b with Fa a -> Floatarray.set a i x | Ba a -> Bigarray_c.set a i x
+
+let unsafe_get b i =
+  match b with
+  | Fa a -> Floatarray.unsafe_get a i
+  | Ba a -> Bigarray_c.unsafe_get a i
+
+let unsafe_set b i x =
+  match b with
+  | Fa a -> Floatarray.unsafe_set a i x
+  | Ba a -> Bigarray_c.unsafe_set a i x
+
+let fill b ~pos ~len x =
+  match b with
+  | Fa a -> Floatarray.fill a ~pos ~len x
+  | Ba a -> Bigarray_c.fill a ~pos ~len x
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  match (src, dst) with
+  | Fa s, Fa d -> Floatarray.blit ~src:s ~src_pos ~dst:d ~dst_pos ~len
+  | Ba s, Ba d -> Bigarray_c.blit ~src:s ~src_pos ~dst:d ~dst_pos ~len
+  | _ ->
+    (* Mixed-backend copy: bounds-checked element loop (cold path). *)
+    for i = 0 to len - 1 do
+      set dst (dst_pos + i) (get src (src_pos + i))
+    done
+
+let sub b ~pos ~len =
+  match b with
+  | Fa a -> Fa (Floatarray.sub a ~pos ~len)
+  | Ba a -> Ba (Bigarray_c.sub a ~pos ~len)
+
+let copy b = sub b ~pos:0 ~len:(length b)

@@ -1,0 +1,207 @@
+(** Swappable raw-storage backends for the numeric core.
+
+    Every kernel in this library reads and writes flat float storage
+    through this module's contract instead of a hard-coded
+    [floatarray].  Two implementations ship:
+
+    - {!Floatarray} — the portable reference: the OCaml [floatarray]
+      path the kernels were originally written against;
+    - {!Bigarray_c} — a C-layout [Bigarray.Array1] of [float64]:
+      unboxed, GC-opaque storage whose pointer can be handed to
+      external BLAS or touched from multiple [Domain]s without the
+      OCaml heap moving it.
+
+    {2 The FP-order-preservation rule}
+
+    Backends only supply storage — allocation, element access, blit,
+    fill, copy-sub.  Every floating-point {e operation} (every add,
+    multiply, compare and their order) lives in the kernel body, which
+    is instantiated once per backend from the same source
+    ({!Kernel.Make} and the generated monomorphic twins share one body
+    file).  Consequently two backends given the same input bits
+    produce the same output bits; the pipeline's chosen events,
+    metrics and provenance ledger are byte-identical across backends.
+    A third backend that honors this contract (storage only, no
+    arithmetic) inherits the guarantee; one that reorders arithmetic
+    (e.g. a vectorizing BLAS) must instead be validated against the
+    reconstruction oracles, not the bitwise ones — see DESIGN.md §14.
+
+    {2 Performance note}
+
+    The concrete modules expose their element accessors as
+    [external] compiler primitives, so the generated monomorphic
+    kernels ([Kernel_fa]/[Kernel_ba], where the backend is a module
+    {e alias}, not a functor parameter) compile element access down to
+    a single load/store.  Code instantiated through {!Kernel.Make}
+    pays a closure call per element access on a non-flambda compiler —
+    fine for validation and prototyping a new backend, not for the hot
+    path. *)
+
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The storage type of the {!Bigarray_c} backend. *)
+
+(** What a storage backend must provide: allocation, (unsafe) element
+    access, bulk blit/fill, sub-copy, and conversion to and from
+    [floatarray] at the interchange boundary.  No arithmetic. *)
+module type S = sig
+  type t
+  (** Flat mutable storage of floats, indexed from [0]. *)
+
+  val name : string
+  (** Stable lowercase identifier ([floatarray], [bigarray]); recorded
+      in run manifests and accepted by [analyze --backend]. *)
+
+  val alloc : int -> t
+  (** Uninitialized storage of the given length; every cell must be
+      written before it is read. *)
+
+  val make : int -> float -> t
+  (** [make n x] is storage of length [n] filled with [x]. *)
+
+  val length : t -> int
+
+  val get : t -> int -> float
+  (** Bounds-checked; raises [Invalid_argument]. *)
+
+  val set : t -> int -> float -> unit
+
+  val unsafe_get : t -> int -> float
+  (** No bounds check; kernel inner loops only. *)
+
+  val unsafe_set : t -> int -> float -> unit
+
+  val fill : t -> pos:int -> len:int -> float -> unit
+
+  val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+  (** Copies [len] cells; the ranges must be valid. *)
+
+  val sub : t -> pos:int -> len:int -> t
+  (** Fresh copy of a range.  (A copy, not an aliasing view:
+      [floatarray] cannot alias sub-ranges, so no backend may promise
+      it.  Aliasing windows are {!Kernel.view}'s job — (offset,
+      stride, length) triples over whole storage.) *)
+
+  val of_floatarray : floatarray -> t
+  (** Fresh storage with the same contents. *)
+
+  val to_floatarray : t -> floatarray
+  (** Fresh [floatarray] with the same contents. *)
+end
+
+(** The portable reference backend: [floatarray]. *)
+module Floatarray : sig
+  type t = floatarray
+
+  val name : string
+
+  external length : t -> int = "%floatarray_length"
+  external get : t -> int -> float = "%floatarray_safe_get"
+  external set : t -> int -> float -> unit = "%floatarray_safe_set"
+  external unsafe_get : t -> int -> float = "%floatarray_unsafe_get"
+  external unsafe_set : t -> int -> float -> unit = "%floatarray_unsafe_set"
+
+  val alloc : int -> t
+  val make : int -> float -> t
+  val fill : t -> pos:int -> len:int -> float -> unit
+  val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+  val sub : t -> pos:int -> len:int -> t
+  val of_floatarray : floatarray -> t
+  val to_floatarray : t -> floatarray
+end
+
+(** C-layout [float64] [Bigarray.Array1] storage: unboxed and
+    GC-opaque (the payload never moves), so it can back external BLAS
+    calls and cross-domain panel updates. *)
+module Bigarray_c : sig
+  type t = ba
+
+  val name : string
+
+  external length : t -> int = "%caml_ba_dim_1"
+  external get : t -> int -> float = "%caml_ba_ref_1"
+  external set : t -> int -> float -> unit = "%caml_ba_set_1"
+  external unsafe_get : t -> int -> float = "%caml_ba_unsafe_ref_1"
+  external unsafe_set : t -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+
+  val alloc : int -> t
+  val make : int -> float -> t
+  val fill : t -> pos:int -> len:int -> float -> unit
+  val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+  val sub : t -> pos:int -> len:int -> t
+  val of_floatarray : floatarray -> t
+  val to_floatarray : t -> floatarray
+end
+
+(** {2 Backend identifiers and the process default} *)
+
+type id = Floatarray | Bigarray
+(** Names a shipped backend.  (The constructors share spelling with
+    the implementation modules above; OCaml keeps the namespaces
+    separate.) *)
+
+val all : id list
+
+val name : id -> string
+(** [floatarray] / [bigarray] — the [--backend] flag vocabulary and
+    the value recorded under the [backend] manifest config key. *)
+
+val names : string list
+(** Every valid {!of_name} input, for error messages. *)
+
+val of_name : string -> id option
+
+val module_of : id -> (module S)
+
+val default : unit -> id
+(** The backend fresh vectors and matrices allocate in when no
+    explicit choice is given.  Initially {!Floatarray}. *)
+
+val set_default : id -> unit
+(** Process-wide; called once at CLI startup ([analyze --backend]).
+    Values allocated before the switch keep their backend — operations
+    accept mixed arguments (at reduced speed), and derived values
+    inherit the backend of their inputs. *)
+
+val with_default : id -> (unit -> 'a) -> 'a
+(** Scoped {!set_default}: restores the previous default on exit
+    (including by exception).  This is what the dual-backend test
+    oracles and benchmarks use. *)
+
+(** {2 Dynamic storage}
+
+    [buf] is the runtime-tagged union of the shipped backends' storage
+    — the representation behind {!Vec.t} and {!Mat.t}.  Kernel entry
+    points match on the tag {e once} and run a monomorphic loop;
+    per-element operations here are the slow generic path for mixed or
+    cold code. *)
+
+type buf = Fa of Floatarray.t | Ba of Bigarray_c.t
+
+val id_of : buf -> id
+
+val create_in : id -> int -> buf
+(** Zero-filled storage in the given backend. *)
+
+val create : int -> buf
+(** [create_in (default ())]. *)
+
+val init_in : id -> int -> (int -> float) -> buf
+(** Fills in ascending index order (the initializer may carry state —
+    RNG draws in the benchmarks rely on the order). *)
+
+val init : int -> (int -> float) -> buf
+
+val length : buf -> int
+val get : buf -> int -> float
+val set : buf -> int -> float -> unit
+val unsafe_get : buf -> int -> float
+val unsafe_set : buf -> int -> float -> unit
+val fill : buf -> pos:int -> len:int -> float -> unit
+
+val blit : src:buf -> src_pos:int -> dst:buf -> dst_pos:int -> len:int -> unit
+(** Mixed-backend blit is supported (element loop). *)
+
+val sub : buf -> pos:int -> len:int -> buf
+(** Fresh copy of a range, in the same backend as the source. *)
+
+val copy : buf -> buf

@@ -33,11 +33,11 @@ let r t = t.rmat
 let apply_qt t b =
   if Vec.dim b <> t.m then invalid_arg "Qr.apply_qt: dimension mismatch";
   let x = Vec.copy b in
-  let xr = Vec.raw x in
+  let xv = Vec.view x in
   Array.iteri
     (fun k h ->
       if h.Householder.tau <> 0.0 then
-        Householder.apply_to_view h (Kernel.view xr ~off:k ~inc:1 ~len:(t.m - k)))
+        Householder.apply_to_view h (Kernel.sub xv ~pos:k ~len:(t.m - k)))
     t.reflectors;
   x
 
@@ -45,11 +45,11 @@ let apply_q t b =
   (* Q = H_0 H_1 ... H_{k-1}; apply in reverse for Q b. *)
   if Vec.dim b <> t.m then invalid_arg "Qr.apply_q: dimension mismatch";
   let x = Vec.copy b in
-  let xr = Vec.raw x in
+  let xv = Vec.view x in
   for k = Array.length t.reflectors - 1 downto 0 do
     let h = t.reflectors.(k) in
     if h.Householder.tau <> 0.0 then
-      Householder.apply_to_view h (Kernel.view xr ~off:k ~inc:1 ~len:(t.m - k))
+      Householder.apply_to_view h (Kernel.sub xv ~pos:k ~len:(t.m - k))
   done;
   x
 

@@ -1,27 +1,51 @@
-type t = floatarray
+type t = Backend.buf
 
-let create n = Float.Array.make n 0.0
-let init = Float.Array.init
-let copy = Float.Array.copy
-let of_list = Float.Array.of_list
-let dim = Float.Array.length
-let fill v x = Float.Array.fill v 0 (Float.Array.length v) x
+let create ?backend n =
+  match backend with
+  | None -> Backend.create n
+  | Some b -> Backend.create_in b n
 
-let of_array a = Float.Array.init (Array.length a) (Array.unsafe_get a)
-let to_array v = Array.init (Float.Array.length v) (Float.Array.unsafe_get v)
+let init ?backend n f =
+  match backend with
+  | None -> Backend.init n f
+  | Some b -> Backend.init_in b n f
 
-let get = Float.Array.get
-let set = Float.Array.set
-let unsafe_get = Float.Array.unsafe_get
-let unsafe_set = Float.Array.unsafe_set
+let backend = Backend.id_of
+let copy v = Backend.copy v
+let dim = Backend.length
+let fill v x = Backend.fill v ~pos:0 ~len:(Backend.length v) x
 
-let raw v = v
-let of_raw v = v
+let of_list ?backend l =
+  let a = Array.of_list l in
+  init ?backend (Array.length a) (Array.unsafe_get a)
+
+let of_array ?backend a = init ?backend (Array.length a) (Array.unsafe_get a)
+
+let to_array v =
+  let n = Backend.length v in
+  let a = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set a i (Backend.unsafe_get v i)
+  done;
+  a
+
+let get = Backend.get
+let set = Backend.set
+let unsafe_get = Backend.unsafe_get
+let unsafe_set = Backend.unsafe_set
+
+let storage v = v
+let of_storage v = v
 let view v = Kernel.full v
-let slice = Float.Array.sub
+let slice v pos len = Backend.sub v ~pos ~len
+
+let blit src dst =
+  let n = Backend.length src in
+  if Backend.length dst <> n then invalid_arg "Vec.blit: dimension mismatch";
+  Backend.blit ~src ~src_pos:0 ~dst ~dst_pos:0 ~len:n
 
 let check_same_dim name x y =
-  if Float.Array.length x <> Float.Array.length y then
+  if Backend.length x <> Backend.length y then
     invalid_arg (name ^ ": dimension mismatch")
 
 let dot x y =
@@ -32,13 +56,19 @@ let norm_inf x = Kernel.amax (Kernel.full x)
 let norm1 x = Kernel.asum (Kernel.full x)
 let norm2 x = Kernel.nrm2 (Kernel.full x)
 
-let scale alpha x = Float.Array.map (fun v -> alpha *. v) x
+(* Derived vectors are allocated in the backend of their (first)
+   input, so a backend-homogeneous computation stays homogeneous
+   whatever the ambient default is. *)
+let scale alpha x =
+  Backend.init_in (Backend.id_of x) (Backend.length x) (fun i ->
+      alpha *. Backend.unsafe_get x i)
+
 let scale_inplace alpha x = Kernel.scal alpha (Kernel.full x)
 
 let map2 f x y =
   check_same_dim "Vec.map2" x y;
-  Float.Array.init (Float.Array.length x) (fun i ->
-      f (Float.Array.unsafe_get x i) (Float.Array.unsafe_get y i))
+  Backend.init_in (Backend.id_of x) (Backend.length x) (fun i ->
+      f (Backend.unsafe_get x i) (Backend.unsafe_get y i))
 
 let add x y = map2 ( +. ) x y
 let sub x y = map2 ( -. ) x y
@@ -48,27 +78,50 @@ let axpy ~alpha ~x ~y =
   Kernel.axpy ~alpha ~x:(Kernel.full x) ~y:(Kernel.full y)
 
 let equal ?(eps = 0.0) x y =
-  Float.Array.length x = Float.Array.length y
+  Backend.length x = Backend.length y
   && begin
        let ok = ref true in
-       for i = 0 to Float.Array.length x - 1 do
-         if
-           Float.abs (Float.Array.unsafe_get x i -. Float.Array.unsafe_get y i)
-           > eps
+       for i = 0 to Backend.length x - 1 do
+         if Float.abs (Backend.unsafe_get x i -. Backend.unsafe_get y i) > eps
          then ok := false
        done;
        !ok
      end
 
-let concat = Float.Array.concat
+let concat vs =
+  let total = List.fold_left (fun acc v -> acc + Backend.length v) 0 vs in
+  let b =
+    match vs with [] -> Backend.default () | v :: _ -> Backend.id_of v
+  in
+  let r = Backend.create_in b total in
+  let pos = ref 0 in
+  List.iter
+    (fun v ->
+      let n = Backend.length v in
+      Backend.blit ~src:v ~src_pos:0 ~dst:r ~dst_pos:!pos ~len:n;
+      pos := !pos + n)
+    vs;
+  r
 
-let iteri = Float.Array.iteri
-let fold_left = Float.Array.fold_left
-let map = Float.Array.map
+let iteri f v =
+  for i = 0 to Backend.length v - 1 do
+    f i (Backend.unsafe_get v i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to Backend.length v - 1 do
+    acc := f !acc (Backend.unsafe_get v i)
+  done;
+  !acc
+
+let map f x =
+  Backend.init_in (Backend.id_of x) (Backend.length x) (fun i ->
+      f (Backend.unsafe_get x i))
 
 let pp ppf v =
   Format.fprintf ppf "(";
-  Float.Array.iteri
+  iteri
     (fun i x -> if i = 0 then Format.fprintf ppf "%g" x else Format.fprintf ppf ", %g" x)
     v;
   Format.fprintf ppf ")"

@@ -1,29 +1,45 @@
 (** Dense vectors of floats on flat unboxed storage.
 
     The representation is abstract: a vector is backed by a single
-    contiguous [floatarray], so the numeric kernels never chase
-    pointers.  Construct from ordinary OCaml data with {!of_array} /
-    {!of_list} and extract with {!to_array}; code on the hot path
-    uses {!unsafe_get}/{!unsafe_set} or takes a {!Kernel.view}.  All
-    binary operations check that lengths agree. *)
+    contiguous {!Backend.buf} — [floatarray] or C-layout [Bigarray]
+    storage, chosen at allocation time — so the numeric kernels never
+    chase pointers.  Construct from ordinary OCaml data with
+    {!of_array} / {!of_list} and extract with {!to_array}; code on
+    the hot path uses {!unsafe_get}/{!unsafe_set} or takes a
+    {!Kernel.view}.  All binary operations check that lengths agree.
+
+    {2 Backend selection}
+
+    Fresh-from-scratch constructors ({!create}, {!init}, {!of_array},
+    {!of_list}) allocate in {!Backend.default} unless given an
+    explicit [?backend]; derived vectors ({!copy}, {!scale}, {!add},
+    {!sub}, {!map}, {!map2}, {!slice}, {!concat}) inherit the backend
+    of their (first) input.  Mixed-backend binary operations are
+    supported and bit-identical, just slower. *)
 
 type t
 
-val create : int -> t
+val create : ?backend:Backend.id -> int -> t
 (** [create n] is a zero vector of length [n]. *)
 
-val init : int -> (int -> float) -> t
+val init : ?backend:Backend.id -> int -> (int -> float) -> t
+(** Fills in ascending index order (the initializer may carry
+    state). *)
 
 val copy : t -> t
+(** Same backend as the input. *)
 
-val of_list : float list -> t
+val of_list : ?backend:Backend.id -> float list -> t
 
-val of_array : float array -> t
+val of_array : ?backend:Backend.id -> float array -> t
 (** Fresh vector with the same contents (always copies). *)
 
 val to_array : t -> float array
 (** Fresh [float array] copy, for interoperating with non-linalg
-    code (reports, JSON export, tests). *)
+    code (reports, JSON export, tests).  An interchange boundary —
+    never an access path; see the no-copy contract in kernel.mli. *)
+
+val backend : t -> Backend.id
 
 val dim : t -> int
 
@@ -37,12 +53,12 @@ val unsafe_get : t -> int -> float
 
 val unsafe_set : t -> int -> float -> unit
 
-val raw : t -> floatarray
+val storage : t -> Backend.buf
 (** The backing storage itself — an {e aliasing} escape hatch for
     kernels (writes through the result write the vector).  Prefer
     {!view}. *)
 
-val of_raw : floatarray -> t
+val of_storage : Backend.buf -> t
 (** Adopts the storage without copying; the caller must not retain
     other mutable references to it. *)
 
@@ -51,7 +67,11 @@ val view : t -> Kernel.view
 
 val slice : t -> int -> int -> t
 (** [slice v pos len] is a fresh copy of the [len] elements starting
-    at [pos]. *)
+    at [pos], in [v]'s backend. *)
+
+val blit : t -> t -> unit
+(** [blit src dst] copies [src] into [dst] in place (dimensions must
+    agree; backends may differ). *)
 
 val dot : t -> t -> float
 (** Inner product. *)
@@ -81,7 +101,7 @@ val axpy : alpha:float -> x:t -> y:t -> unit
 
 val equal : ?eps:float -> t -> t -> bool
 (** Componentwise comparison with absolute tolerance [eps]
-    (default [0.]). *)
+    (default [0.]); backends need not match. *)
 
 val map2 : (float -> float -> float) -> t -> t -> t
 

@@ -112,3 +112,16 @@ val diff : t -> t -> change list
 val non_timing : change list -> change list
 val timing_only : change list -> change list
 val render_changes : change list -> string
+
+val backend : t -> string option
+(** The storage backend recorded under the [backend] config key
+    (pipeline manifests and linalg bench manifests record it; older
+    manifests may not). *)
+
+val cross_backend : t -> t -> (string * string) option
+(** [cross_backend a b] is [Some (ba, bb)] when both manifests record
+    a backend and they differ — the caller is comparing runs of the
+    same computation on different storage backends, and the
+    [config.backend]/[config_digest] differences {!diff} reports are
+    the expected signature of that, not silent drift.  [analyze
+    report --diff] uses this to label such comparisons explicitly. *)
