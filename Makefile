@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check lint lint-smoke bench bench-smoke bench-linalg bench-linalg-backends bench-shard bench-check bench-check-smoke manifest-smoke shard-smoke backend-smoke repro examples figures docs clean
+.PHONY: all build test check lint lint-smoke bench bench-smoke bench-linalg bench-linalg-backends bench-shard bench-check bench-check-smoke manifest-smoke shard-smoke backend-smoke store-smoke trend-smoke repro examples figures docs clean
 
 all: build
 
@@ -27,6 +27,8 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) manifest-smoke
 	$(MAKE) bench-check-smoke
+	$(MAKE) store-smoke
+	$(MAKE) trend-smoke
 
 # Static pre-flight analysis of every declarative input — bases,
 # signatures, catalogs, parameters, artifact schema — with zero
@@ -128,15 +130,21 @@ manifest-smoke:
 	dune exec bin/analyze.exe -- report --diff /tmp/manifest_a.json /tmp/manifest_b.json
 
 # Perf-regression gate: full benchmark runs compared against the
-# checked-in baseline manifests.  Non-zero exit on any metric
-# regression or exact-match counter mismatch.
+# newest comparable run in the run store when one exists (the
+# checked-in baseline manifests are the empty-store fallback).
+# Passing runs are ingested, so the gate accumulates the trajectory
+# `analyze trend` reads, and TRAJECTORY.jsonl is regenerated as a
+# view over the store.  Non-zero exit on any metric regression or
+# exact-match counter mismatch.
 bench-check:
 	dune exec bench/linalg_scale.exe -- --out /tmp/BENCH_linalg_now.json
 	dune exec bench/bench_check.exe -- --baseline bench/BENCH_linalg.json \
-	  --current /tmp/BENCH_linalg_now.json --trajectory bench/TRAJECTORY.jsonl
+	  --current /tmp/BENCH_linalg_now.json --from-store --store .analyze/store \
+	  --trajectory bench/TRAJECTORY.jsonl
 	dune exec bench/shard_bench.exe -- --out /tmp/BENCH_shard_now.json
 	dune exec bench/bench_check.exe -- --baseline bench/BENCH_shard.json \
-	  --current /tmp/BENCH_shard_now.json --trajectory bench/TRAJECTORY.jsonl
+	  --current /tmp/BENCH_shard_now.json --from-store --store .analyze/store \
+	  --trajectory bench/TRAJECTORY.jsonl
 
 # Fast CI form of the gate: a smoke bench run compared against itself
 # must pass, the checked-in baselines must survive the strict decoder,
@@ -150,6 +158,47 @@ bench-check-smoke:
 	dune exec bench/shard_bench.exe -- --check bench/BENCH_shard.json
 	! dune exec bench/bench_check.exe -- --baseline /tmp/BENCH_gate_smoke.json \
 	  --current /tmp/BENCH_gate_smoke.json --inject 1000 > /dev/null 2>&1
+
+# Run-store smoke: pipeline runs accumulate in a scratch store as
+# distinct trajectory points (one with --progress, whose heartbeats
+# must not perturb anything), re-ingesting an emitted manifest
+# dedupes by content hash, `store ls` lists the table, and `report
+# --baseline store` auto-selects the previous comparable run (exit 0:
+# no non-timing drift).
+store-smoke:
+	rm -rf /tmp/analyze_store_smoke
+	dune exec bin/analyze.exe -- -c branch --show summary \
+	  --store /tmp/analyze_store_smoke
+	dune exec bin/analyze.exe -- -c branch --show summary --progress \
+	  --store /tmp/analyze_store_smoke
+	dune exec bin/analyze.exe -- -c branch --show summary \
+	  --manifest /tmp/store_smoke_c.json --store /tmp/analyze_store_smoke
+	dune exec bin/analyze.exe -- store ls --store /tmp/analyze_store_smoke
+	dune exec bin/analyze.exe -- store ingest /tmp/store_smoke_c.json \
+	  --store /tmp/analyze_store_smoke | grep -q "identical run already stored"
+	dune exec bin/analyze.exe -- report /tmp/store_smoke_c.json \
+	  --baseline store --store /tmp/analyze_store_smoke
+
+# Cross-run trend smoke: three stored runs of one config must pass
+# the trend gate (table and JSON forms), and the trace exporter must
+# produce non-empty folded stacks and a Chrome trace for the same
+# category.
+trend-smoke:
+	rm -rf /tmp/analyze_trend_smoke
+	dune exec bin/analyze.exe -- -c branch --show summary \
+	  --store /tmp/analyze_trend_smoke
+	dune exec bin/analyze.exe -- -c branch --show summary \
+	  --store /tmp/analyze_trend_smoke
+	dune exec bin/analyze.exe -- -c branch --show summary \
+	  --store /tmp/analyze_trend_smoke
+	dune exec bin/analyze.exe -- trend -c branch --store /tmp/analyze_trend_smoke
+	dune exec bin/analyze.exe -- trend -c branch --store /tmp/analyze_trend_smoke \
+	  --json > /tmp/trend_smoke.json
+	test -s /tmp/trend_smoke.json
+	dune exec bin/analyze.exe -- trace -c branch \
+	  --folded /tmp/trace_smoke.folded --trace /tmp/trace_smoke.json
+	test -s /tmp/trace_smoke.folded
+	test -s /tmp/trace_smoke.json
 
 # Machine-checked reproduction scorecard (non-zero exit on any failure).
 repro:

@@ -1,24 +1,33 @@
 (* Performance-regression gate over bench manifests.
 
-   Compares a current run manifest against a checked-in baseline
-   manifest using the shared Bench_report policy: every metric
-   present in both must satisfy
+   Compares a current run manifest against a baseline using the shared
+   Bench_report policy: every metric present in both must satisfy
        current <= max(baseline * ratio, baseline + slack_ms)
    and every counter present in both must match exactly.  Exits
    non-zero on any regression or counter mismatch — the `make
    bench-check` CI gate.
 
    Usage:
-     bench_check --baseline FILE --current FILE
+     bench_check --current FILE
+                 (--baseline FILE | --from-store) [--store DIR]
                  [--ratio R] [--slack-ms S]
                  [--threshold NAME=RATIO[:SLACK_MS]]...
                  [--inject MS] [--trajectory FILE]
 
+   The baseline is either a checked-in manifest file (--baseline) or
+   the newest comparable run in the on-disk run store (--from-store;
+   --baseline then only serves as the fallback for an empty store).
+   [--store DIR] also ingests the current manifest after a passing
+   comparison, so repeated gate runs accumulate the trajectory the
+   `analyze trend` command reads.
+
    [--threshold] overrides the policy for one metric (repeatable).
    [--inject MS] adds MS to every current metric before comparing —
    the self-test that proves the gate actually fires (used by
-   bench-check-smoke).  [--trajectory FILE] appends the current
-   manifest's JSONL summary line after a passing comparison. *)
+   bench-check-smoke).  [--trajectory FILE] writes the current
+   manifest's JSONL summary line after a passing comparison: appended
+   when no store is in play, regenerated as a view over the whole
+   store otherwise. *)
 
 let parse_threshold spec =
   match String.index_opt spec '=' with
@@ -55,6 +64,8 @@ let () =
   let thresholds = ref [] in
   let inject = ref 0.0 in
   let trajectory = ref "" in
+  let store = ref "" in
+  let from_store = ref false in
   Arg.parse
     [
       ("--baseline", Arg.Set_string baseline, "FILE baseline manifest");
@@ -69,14 +80,27 @@ let () =
         "MS add MS to every current metric (gate self-test)" );
       ( "--trajectory",
         Arg.Set_string trajectory,
-        "FILE append the current manifest's summary line on pass" );
+        "FILE write the current manifest's summary line on pass (a \
+         store-regenerated view when --store is given)" );
+      ( "--store",
+        Arg.Set_string store,
+        "DIR run store: ingest the current manifest after a pass" );
+      ( "--from-store",
+        Arg.Set from_store,
+        " take the baseline from the newest comparable stored run \
+         (--baseline is then the empty-store fallback)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench_check --baseline FILE --current FILE [options]";
-  if !baseline = "" || !current = "" then begin
-    prerr_endline "bench_check: --baseline and --current are required";
+    "bench_check --current FILE (--baseline FILE | --from-store) [options]";
+  if !current = "" then begin
+    prerr_endline "bench_check: --current is required";
     exit 2
   end;
+  if !baseline = "" && not !from_store then begin
+    prerr_endline "bench_check: give --baseline FILE or --from-store";
+    exit 2
+  end;
+  if !from_store && !store = "" then store := Obs.Store.default_dir;
   let load path =
     match Bench_report.load_manifest path with
     | Ok m -> m
@@ -84,44 +108,103 @@ let () =
       prerr_endline ("bench_check: " ^ msg);
       exit 1
   in
-  let base = load !baseline in
   let cur = load !current in
-  if base.Obs.Manifest.source <> cur.Obs.Manifest.source then begin
-    Printf.eprintf
-      "bench_check: manifests are from different benchmarks (%s vs %s)\n"
-      base.Obs.Manifest.source cur.Obs.Manifest.source;
-    exit 1
-  end;
-  if base.Obs.Manifest.config_digest <> cur.Obs.Manifest.config_digest then
-    Printf.eprintf
-      "bench_check: warning: config digests differ (%s vs %s) — comparing \
-       shared metrics anyway\n"
-      base.Obs.Manifest.config_digest cur.Obs.Manifest.config_digest;
-  let cur =
-    if !inject = 0.0 then cur
-    else
-      {
-        cur with
-        Obs.Manifest.metrics =
-          List.map
-            (fun (k, v) -> (k, v +. !inject))
-            cur.Obs.Manifest.metrics;
-      }
+  let store_ingest () =
+    if !store <> "" then begin
+      match Bench_report.ingest_store ~dir:!store cur with
+      | Ok (Obs.Store.Ingested e) ->
+        Printf.printf "bench_check: stored current run as seq %d in %s\n"
+          e.Obs.Store.seq !store
+      | Ok (Obs.Store.Deduped e) ->
+        Printf.printf
+          "bench_check: current run identical to stored seq %d (deduped)\n"
+          e.Obs.Store.seq
+      | Error msg ->
+        prerr_endline ("bench_check: " ^ msg);
+        exit 1
+    end
   in
-  let c =
-    Bench_report.compare_manifests
-      ~default:{ Bench_report.ratio = !ratio; slack_ms = !slack }
-      ~thresholds:!thresholds ~baseline:base cur
+  let write_trajectory () =
+    if !trajectory <> "" then
+      if !store = "" then Bench_report.append_trajectory !trajectory cur
+      else begin
+        (* The JSONL log is a view over the store, regenerated whole so
+           it can never drift from what is actually stored. *)
+        match Bench_report.trajectory_from_store ~dir:!store with
+        | Ok text -> Bench_report.write_file !trajectory text
+        | Error msg ->
+          prerr_endline ("bench_check: " ^ msg);
+          exit 1
+      end
   in
-  print_string (Bench_report.render_comparison c);
-  if Bench_report.passed c then begin
-    Printf.printf "bench_check: ok (%d metrics within thresholds)\n"
-      (List.length c.Bench_report.verdicts);
-    if !trajectory <> "" then Bench_report.append_trajectory !trajectory cur
-  end
-  else begin
-    Printf.eprintf "bench_check: FAILED (%d regression(s), %d counter mismatch(es))\n"
-      (List.length (Bench_report.regressions c))
-      (List.length c.Bench_report.counter_mismatches);
-    exit 1
-  end
+  let base =
+    if !from_store then begin
+      match Bench_report.store_baseline ~dir:!store cur with
+      | Ok (Some (e, m)) ->
+        Printf.printf "bench_check: baseline is stored run %d (%s)\n"
+          e.Obs.Store.seq e.Obs.Store.file;
+        Some m
+      | Ok None | Error _ when !baseline <> "" ->
+        Printf.printf
+          "bench_check: no comparable run stored; using --baseline %s\n"
+          !baseline;
+        Some (load !baseline)
+      | Ok None ->
+        Printf.printf
+          "bench_check: empty store %s — ingesting current run as the \
+           first baseline\n"
+          !store;
+        None
+      | Error msg ->
+        prerr_endline ("bench_check: " ^ msg);
+        exit 1
+    end
+    else Some (load !baseline)
+  in
+  match base with
+  | None ->
+    store_ingest ();
+    write_trajectory ()
+  | Some base ->
+    if base.Obs.Manifest.source <> cur.Obs.Manifest.source then begin
+      Printf.eprintf
+        "bench_check: manifests are from different benchmarks (%s vs %s)\n"
+        base.Obs.Manifest.source cur.Obs.Manifest.source;
+      exit 1
+    end;
+    if base.Obs.Manifest.config_digest <> cur.Obs.Manifest.config_digest then
+      Printf.eprintf
+        "bench_check: warning: config digests differ (%s vs %s) — comparing \
+         shared metrics anyway\n"
+        base.Obs.Manifest.config_digest cur.Obs.Manifest.config_digest;
+    let compared =
+      if !inject = 0.0 then cur
+      else
+        {
+          cur with
+          Obs.Manifest.metrics =
+            List.map
+              (fun (k, v) -> (k, v +. !inject))
+              cur.Obs.Manifest.metrics;
+        }
+    in
+    let c =
+      Bench_report.compare_manifests
+        ~default:{ Bench_report.ratio = !ratio; slack_ms = !slack }
+        ~thresholds:!thresholds ~baseline:base compared
+    in
+    print_string (Bench_report.render_comparison c);
+    if Bench_report.passed c then begin
+      Printf.printf "bench_check: ok (%d metrics within thresholds)\n"
+        (List.length c.Bench_report.verdicts);
+      (* The *measured* manifest is what gets stored and logged; an
+         --inject self-test never pollutes the trajectory. *)
+      store_ingest ();
+      write_trajectory ()
+    end
+    else begin
+      Printf.eprintf "bench_check: FAILED (%d regression(s), %d counter mismatch(es))\n"
+        (List.length (Bench_report.regressions c))
+        (List.length c.Bench_report.counter_mismatches);
+      exit 1
+    end

@@ -82,15 +82,73 @@ let append_trajectory path m =
     (fun () -> output_string oc (trajectory_line m ^ "\n"))
 
 (* ------------------------------------------------------------------ *)
+(* Run-store integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The store is the durable home of bench runs; TRAJECTORY.jsonl
+   becomes a view over it (regenerated, not hand-appended) once a
+   store is in play. *)
+
+let ingest_store ~dir m =
+  match Obs.Store.open_store ~create:true dir with
+  | Error _ as e -> e
+  | Ok store -> Obs.Store.ingest store m
+
+(* The newest stored run comparable to [current]: same config digest
+   and source but different content.  Falls back to the newest run of
+   the same source (config drift gets bench_check's existing warning
+   rather than silence). *)
+let store_baseline ~dir (current : Obs.Manifest.t) =
+  match Obs.Store.open_store ~create:false dir with
+  | Error _ as e -> e
+  | Ok store -> (
+    let entry =
+      match Obs.Store.latest_comparable store current with
+      | Some e -> Some e
+      | None ->
+        let hash =
+          Obs.Manifest.fnv64_hex
+            (Jsonio.to_string (Obs.Manifest.to_json current) ^ "\n")
+        in
+        Obs.Store.query ~source:current.Obs.Manifest.source store
+        |> List.filter (fun e -> e.Obs.Store.manifest_hash <> hash)
+        |> List.fold_left (fun _ e -> Some e) None
+    in
+    match entry with
+    | None -> Ok None
+    | Some e -> (
+      match Obs.Store.load store e with
+      | Ok m -> Ok (Some (e, m))
+      | Error _ as err -> err))
+
+(* Regenerate the full JSONL trajectory from the store — every stored
+   run, one summary line each, in ingestion order. *)
+let trajectory_from_store ~dir =
+  match Obs.Store.open_store ~create:false dir with
+  | Error _ as e -> e
+  | Ok store ->
+    let rec go acc = function
+      | [] -> Ok (String.concat "" (List.rev acc))
+      | e :: rest -> (
+        match Obs.Store.load store e with
+        | Ok m -> go ((trajectory_line m ^ "\n") :: acc) rest
+        | Error _ as err -> err)
+    in
+    go [] (Obs.Store.entries store)
+
+(* ------------------------------------------------------------------ *)
 (* Regression policy                                                   *)
 (* ------------------------------------------------------------------ *)
 
-type threshold = { ratio : float; slack_ms : float }
+(* The policy definition lives in Obs.Trend so this gate and the
+   cross-run trend gate (`analyze trend`) can never drift apart; the
+   re-export keeps existing Bench_report.{ratio,slack_ms} users
+   compiling unchanged. *)
+type threshold = Obs.Trend.threshold = { ratio : float; slack_ms : float }
 
-let default_threshold = { ratio = 3.0; slack_ms = 5.0 }
+let default_threshold = Obs.Trend.default_threshold
 
-let limit_of ~threshold baseline =
-  Float.max (baseline *. threshold.ratio) (baseline +. threshold.slack_ms)
+let limit_of = Obs.Trend.limit_of
 
 type verdict = {
   metric : string;

@@ -74,12 +74,23 @@ let stats_flag =
              accept/reject, QRCP pivots, simulated readings)." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let obs_term = Term.(const (fun trace stats -> (trace, stats)) $ trace_file $ stats_flag)
+let progress_flag =
+  let doc = "Emit single-line progress heartbeats to stderr while the run \
+             executes: elapsed time, current stage, shard k/N, events \
+             processed and an ETA interpolated from the running per-shard \
+             span histograms.  Rate-bounded (at most ~5 lines/s); the \
+             pipeline's outputs are bit-identical with and without it." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let obs_term =
+  Term.(
+    const (fun trace stats progress -> (trace, stats, progress))
+    $ trace_file $ stats_flag $ progress_flag)
 
 (* [f] receives the Summary sink (when --stats) so it can reset and
    render per phase; with [render_stats] (the default) the accumulated
    table is printed once after [f] instead. *)
-let with_obs ?(render_stats = true) (trace, stats) f =
+let with_obs ?(render_stats = true) (trace, stats, progress) f =
   let chrome =
     Option.map
       (fun _ ->
@@ -96,7 +107,11 @@ let with_obs ?(render_stats = true) (trace, stats) f =
     end
     else None
   in
-  let result = f ~summary in
+  let run () = f ~summary in
+  let result =
+    if progress then Obs.with_progress (Obs.Progress.create ()) run
+    else run ()
+  in
   if render_stats then
     Option.iter
       (fun s -> Printf.printf "Stage stats:\n%s" (Obs.Summary.render s))
@@ -178,25 +193,18 @@ let manifest_file =
              with 'analyze report'." in
   Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
 
-let install_manifest_hook ~command path =
-  Core.Stage.set_manifest
-    (Some
-       (fun m ->
-         write_file
-           ~what:(Printf.sprintf "run manifest (%s)" command)
-           path
-           (Jsonio.to_string (Obs.Manifest.to_json m) ^ "\n")))
+let store_flag =
+  let doc = "Ingest each run's manifest into the on-disk run store at \
+             $(docv) (created if missing; bare $(b,--store) uses \
+             '.analyze/store').  Identical re-runs dedupe by content hash; \
+             distinct runs of one config accumulate as trajectory points \
+             for 'analyze trend' and 'analyze report --baseline store'." in
+  Arg.(
+    value
+    & opt ~vopt:(Some Obs.Store.default_dir) (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc)
 
-let load_manifest ~command path =
-  let fail msg =
-    Printf.eprintf "analyze %s: %s: %s\n" command path msg;
-    exit 1
-  in
-  let text = try read_file path with Sys_error msg -> fail msg in
-  match Jsonio.of_string text with
-  | Error msg -> fail ("not JSON: " ^ msg)
-  | Ok j -> (
-    match Obs.Manifest.of_json j with Error msg -> fail msg | Ok m -> m)
+let load_manifest ~command = Obs_cli.load_manifest ~command:("analyze " ^ command)
 
 let config_of ~tau ~alpha ~proj_tol ~reps category =
   let default = Core.Pipeline.default_config category in
@@ -262,7 +270,7 @@ let run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
   print_newline ()
 
 let main category tau alpha proj_tol reps sections csv auto_tau obs manifest
-    shards preflight backend =
+    store shards preflight backend =
   set_backend backend;
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if shards < 1 then begin
@@ -277,12 +285,13 @@ let main category tau alpha proj_tol reps sections csv auto_tau obs manifest
   end;
   (match (manifest, category) with
   | Some _, None ->
-    (* One manifest describes one run; an all-category sweep would
-       silently keep only the last category's. *)
+    (* One manifest file describes one run; an all-category sweep would
+       silently keep only the last category's.  --store has no such
+       restriction: each category's manifest ingests as its own run. *)
     prerr_endline "analyze: --manifest requires --category";
     exit 2
-  | Some path, Some _ -> install_manifest_hook ~command:"analyze" path
-  | None, _ -> ());
+  | _ -> ());
+  Obs_cli.install_hook ~command:"analyze" ?manifest ?store ();
   with_obs ~render_stats:false obs (fun ~summary ->
       try
         match (csv, category) with
@@ -588,7 +597,7 @@ let shard_cmd =
       const shard_main $ explain_category $ index $ shards $ out $ tau $ alpha
       $ proj_tol $ reps $ backend_flag $ obs_term)
 
-let merge_main files sections json manifest backend obs =
+let merge_main files sections json manifest store backend obs =
   set_backend backend;
   with_obs obs @@ fun ~summary:_ ->
   let sections = String.split_on_char ',' sections |> List.map String.trim in
@@ -596,7 +605,7 @@ let merge_main files sections json manifest backend obs =
     prerr_endline "analyze merge: give the shard artifact FILEs to merge";
     exit 2
   end;
-  Option.iter (install_manifest_hook ~command:"analyze merge") manifest;
+  Obs_cli.install_hook ~command:"analyze merge" ?manifest ?store ();
   let shards =
     List.map
       (fun path ->
@@ -672,7 +681,7 @@ let merge_cmd =
     (Cmd.info "merge" ~doc ~man)
     Term.(
       const merge_main $ files $ sections $ json $ manifest_file
-      $ backend_flag $ obs_term)
+      $ store_flag $ backend_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* lint: the static pre-flight analyzer                                *)
@@ -809,59 +818,97 @@ let changes_to_json changes =
            ])
        changes)
 
-let report_main files diff json =
+(* Compare [current] against [baseline]: print (unless --quiet) and
+   exit 1 when any unexpected non-timing field differs — the exit-code
+   contract shared by --diff and --baseline. *)
+let report_compare ~json ~quiet ~timing baseline current =
+  let changes = Obs.Manifest.diff baseline current in
+  let cross = Obs.Manifest.cross_backend baseline current in
+  if not quiet then
+    if json then
+      print_string (Jsonio.to_string (changes_to_json changes) ^ "\n")
+    else begin
+      Option.iter
+        (fun (ba, bb) ->
+          Printf.printf
+            "cross-backend comparison: %s vs %s (config.backend and \
+             config_digest are expected to differ; everything else \
+             must still agree)\n"
+            ba bb)
+        cross;
+      print_string (Obs.Manifest.render_changes ~show_timing:timing changes)
+    end;
+  (* Timing deltas are expected between any two runs; a non-timing
+     difference means the runs were not equivalent.  Across
+     backends the recorded backend name (and hence the config
+     digest) differs by construction — those two fields are the
+     labeled signature of a cross-backend comparison, and any
+     *other* non-timing difference still fails: the backends
+     promise byte-identical outputs. *)
+  let expected_cross path =
+    cross <> None && (path = "config.backend" || path = "config_digest")
+  in
+  let gating =
+    List.filter
+      (fun (c : Obs.Manifest.change) ->
+        not (expected_cross c.Obs.Manifest.path))
+      (Obs.Manifest.non_timing changes)
+  in
+  if gating <> [] then exit 1
+
+let report_main files diff json baseline store_dir quiet timing =
   let load = load_manifest ~command:"report" in
-  if diff then begin
-    match files with
-    | [ a; b ] ->
-      let ma = load a and mb = load b in
-      let changes = Obs.Manifest.diff ma mb in
-      let cross = Obs.Manifest.cross_backend ma mb in
-      if json then
-        print_string (Jsonio.to_string (changes_to_json changes) ^ "\n")
-      else begin
-        Option.iter
-          (fun (ba, bb) ->
-            Printf.printf
-              "cross-backend comparison: %s vs %s (config.backend and \
-               config_digest are expected to differ; everything else \
-               must still agree)\n"
-              ba bb)
-          cross;
-        print_string (Obs.Manifest.render_changes changes)
-      end;
-      (* Timing deltas are expected between any two runs; a non-timing
-         difference means the runs were not equivalent.  Across
-         backends the recorded backend name (and hence the config
-         digest) differs by construction — those two fields are the
-         labeled signature of a cross-backend comparison, and any
-         *other* non-timing difference still fails: the backends
-         promise byte-identical outputs. *)
-      let expected_cross path =
-        cross <> None
-        && (path = "config.backend" || path = "config_digest")
-      in
-      let gating =
-        List.filter
-          (fun (c : Obs.Manifest.change) -> not (expected_cross c.Obs.Manifest.path))
-          (Obs.Manifest.non_timing changes)
-      in
-      if gating <> [] then exit 1
-    | _ ->
-      prerr_endline "analyze report: --diff takes exactly two manifest FILEs";
-      exit 2
-  end
-  else
-    match files with
-    | [ path ] ->
-      let m = load path in
-      if json then
-        print_string (Jsonio.to_string (Obs.Manifest.to_json m) ^ "\n")
-      else print_string (Obs.Manifest.render m)
-    | _ ->
-      prerr_endline
-        "analyze report: give one manifest FILE (or --diff FILE FILE)";
-      exit 2
+  match (baseline, diff, files) with
+  | Some base, _, [ path ] ->
+    let current = load path in
+    let baseline =
+      if base = "store" then begin
+        let dir = Option.value store_dir ~default:Obs.Store.default_dir in
+        let store =
+          Obs_cli.open_store_or_fail ~command:"analyze report" ~create:false
+            dir
+        in
+        match Obs.Store.latest_comparable store current with
+        | None ->
+          Printf.eprintf
+            "analyze report: no comparable run in %s (config %s, source %s) \
+             to use as a baseline\n"
+            dir current.Obs.Manifest.config_digest
+            current.Obs.Manifest.source;
+          exit 2
+        | Some e -> (
+          match Obs.Store.load store e with
+          | Ok m ->
+            if not quiet then
+              Printf.eprintf "analyze report: baseline is stored run %d (%s)\n"
+                e.Obs.Store.seq e.Obs.Store.file;
+            m
+          | Error msg ->
+            Printf.eprintf "analyze report: %s\n" msg;
+            exit 1)
+      end
+      else load base
+    in
+    report_compare ~json ~quiet ~timing baseline current
+  | Some _, _, _ ->
+    prerr_endline
+      "analyze report: --baseline takes exactly one current manifest FILE";
+    exit 2
+  | None, true, [ a; b ] ->
+    report_compare ~json ~quiet ~timing (load a) (load b)
+  | None, true, _ ->
+    prerr_endline "analyze report: --diff takes exactly two manifest FILEs";
+    exit 2
+  | None, false, [ path ] ->
+    let m = load path in
+    if json then
+      print_string (Jsonio.to_string (Obs.Manifest.to_json m) ^ "\n")
+    else if not quiet then print_string (Obs.Manifest.render m)
+  | None, false, _ ->
+    prerr_endline
+      "analyze report: give one manifest FILE (or --diff FILE FILE, or \
+       FILE --baseline BASE)";
+    exit 2
 
 let report_cmd =
   let doc = "Render a run manifest, or compare two field by field" in
@@ -887,10 +934,24 @@ let report_cmd =
          and are exempt from the exit status, while every other \
          non-timing field must still agree — the backends promise \
          byte-identical outputs.";
+      `P
+        "With $(b,--baseline) $(i,BASE), the single FILE is compared \
+         against $(i,BASE): a manifest file path, or the literal \
+         $(b,store) to auto-select the newest stored run with the same \
+         config digest and source from the run store ($(b,--store) names \
+         the directory; default '.analyze/store').";
+      `S Manpage.s_exit_status;
+      `P
+        "0 — the runs are equivalent (only timing fields, or expected \
+         cross-backend fields, differ).  1 — a non-timing field differs \
+         (or a manifest fails strict decoding).  2 — usage error, or no \
+         comparable baseline exists in the store.  $(b,--quiet) changes \
+         none of this, it only suppresses the rendering.";
     ]
   in
   let files =
-    let doc = "Manifest file(s): one to render, two with $(b,--diff)." in
+    let doc = "Manifest file(s): one to render (or to compare with \
+               $(b,--baseline)), two with $(b,--diff)." in
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
   let diff =
@@ -900,12 +961,313 @@ let report_cmd =
   in
   let json =
     let doc = "Emit canonical JSON (the manifest itself, or the change \
-               list under --diff) instead of text." in
+               list under --diff/--baseline) instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let baseline =
+    let doc = "Compare FILE against $(docv): a manifest file, or \
+               $(b,store) for the newest comparable run in the run \
+               store." in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"BASE" ~doc)
+  in
+  let store_dir =
+    let doc = "Run store directory for $(b,--baseline store)." in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let quiet =
+    let doc = "Print nothing; communicate only through the exit status \
+               (see EXIT STATUS)." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let timing =
+    let doc = "List individual timing deltas in comparisons.  By default \
+               they are only counted — timing fields differ between any \
+               two runs, and the interesting verdict is the non-timing \
+               one." in
+    Arg.(value & flag & info [ "timing" ] ~doc)
   in
   Cmd.v
     (Cmd.info "report" ~doc ~man)
-    Term.(const report_main $ files $ diff $ json)
+    Term.(
+      const report_main $ files $ diff $ json $ baseline $ store_dir $ quiet
+      $ timing)
+
+(* ------------------------------------------------------------------ *)
+(* trend: cross-run trajectories over the run store                    *)
+(* ------------------------------------------------------------------ *)
+
+let trend_main category config_digest source dir ratio slack_ms json =
+  let command = "analyze trend" in
+  let store = Obs_cli.open_store_or_fail ~command ~create:false dir in
+  let label = Option.map Core.Category.name category in
+  let entries = Obs.Store.query ?config_digest ~source ?label store in
+  let digests =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Obs.Store.config_digest) entries)
+  in
+  (match digests with
+  | [] ->
+    Printf.eprintf
+      "%s: no stored runs match (store %s, source %s%s) — ingest runs with \
+       --store first\n"
+      command dir source
+      (match label with None -> "" | Some l -> ", category " ^ l);
+    exit 2
+  | [ _ ] -> ()
+  | many ->
+    (* Runs of different configs are not one trajectory; make the user
+       pick instead of silently mixing them. *)
+    Printf.eprintf
+      "%s: stored runs span %d distinct configs — select one with \
+       --config-digest:\n"
+      command (List.length many);
+    List.iter
+      (fun d ->
+        let n =
+          List.length
+            (List.filter (fun e -> e.Obs.Store.config_digest = d) entries)
+        in
+        Printf.eprintf "  %s (%d run%s)\n" d n (if n = 1 then "" else "s"))
+      many;
+    exit 2);
+  let manifests =
+    List.map
+      (fun e ->
+        match Obs.Store.load store e with
+        | Ok m -> m
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" command msg;
+          exit 1)
+      entries
+  in
+  let threshold = { Obs.Trend.ratio; slack_ms } in
+  let seqs = List.map (fun e -> e.Obs.Store.seq) entries in
+  match Obs.Trend.analyze ~threshold ~seqs manifests with
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" command msg;
+    exit 2
+  | Ok t ->
+    if json then print_string (Jsonio.to_string (Obs.Trend.to_json t) ^ "\n")
+    else print_string (Obs.Trend.render t);
+    if not (Obs.Trend.passed t) then exit 1
+
+let trend_cmd =
+  let doc =
+    "Per-span p50/p90/p99 trajectories across stored runs, with \
+     regression verdicts and change-point markers"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads every stored run matching the filters (same config digest \
+         — ambiguity is an error), builds per-span quantile trajectories \
+         in ingestion order, and passes two verdicts on each span: a \
+         regression check of the last run against the median of the \
+         earlier runs, using the same policy as the benchmark gate \
+         (current > max(baseline*ratio, baseline+slack)); and a \
+         change-point marker at the split maximizing the sustained level \
+         shift between segment means.";
+      `P "Populate the store by running 'analyze -c CATEGORY --store'.";
+      `S Manpage.s_exit_status;
+      `P
+        "0 — no span regressed.  1 — at least one span's last run broke \
+         its limit.  2 — fewer than two comparable stored runs, ambiguous \
+         filters, or no store.";
+    ]
+  in
+  let config_digest =
+    let doc = "Restrict to runs whose config digest is $(docv) (as \
+               printed by 'analyze store ls')." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config-digest" ] ~docv:"DIGEST" ~doc)
+  in
+  let source =
+    let doc = "Manifest source to trend ('pipeline' for analyze runs, \
+               'pipeline-custom' for --csv runs, 'bench:*' for harness \
+               runs)." in
+    Arg.(value & opt string "pipeline" & info [ "source" ] ~docv:"SOURCE" ~doc)
+  in
+  let dir =
+    let doc = "Run store directory." in
+    Arg.(
+      value
+      & opt string Obs.Store.default_dir
+      & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let ratio =
+    let doc = "Regression limit ratio (current vs baseline median)." in
+    Arg.(
+      value
+      & opt float Obs.Trend.default_threshold.Obs.Trend.ratio
+      & info [ "ratio" ] ~docv:"R" ~doc)
+  in
+  let slack_ms =
+    let doc = "Absolute slack in milliseconds added to the baseline \
+               before the ratio test can fail a span." in
+    Arg.(
+      value
+      & opt float Obs.Trend.default_threshold.Obs.Trend.slack_ms
+      & info [ "slack-ms" ] ~docv:"MS" ~doc)
+  in
+  let json =
+    let doc = "Emit the trend as JSON instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trend" ~doc ~man)
+    Term.(
+      const trend_main $ category $ config_digest $ source $ dir $ ratio
+      $ slack_ms $ json)
+
+(* ------------------------------------------------------------------ *)
+(* trace: flamegraph (folded stacks) and Chrome-trace export           *)
+(* ------------------------------------------------------------------ *)
+
+let trace_main category shards folded flamegraph backend obs =
+  set_backend backend;
+  let category =
+    match category with
+    | Some c -> c
+    | None ->
+      prerr_endline "analyze trace: a CATEGORY is required (-c)";
+      exit 2
+  in
+  if shards < 1 then begin
+    prerr_endline "analyze trace: --shards must be at least 1";
+    exit 2
+  end;
+  let folded_path =
+    match (folded, flamegraph) with
+    | Some _, Some _ ->
+      prerr_endline
+        "analyze trace: --flamegraph is an alias of --folded; give one";
+      exit 2
+    | Some f, None | None, Some f -> Some f
+    | None, None -> None
+  in
+  let trace_path, _, _ = obs in
+  if folded_path = None && trace_path = None then begin
+    prerr_endline "analyze trace: give --folded FILE and/or --trace FILE";
+    exit 2
+  end;
+  with_obs obs @@ fun ~summary:_ ->
+  let run () = ignore (Core.Pipeline.run ~shards category) in
+  match folded_path with
+  | None -> run ()
+  | Some path ->
+    let f = Obs.Folded.create () in
+    let s = Obs.Folded.sink f in
+    Obs.install s;
+    Fun.protect ~finally:(fun () -> Obs.uninstall s) run;
+    (try
+       Obs.Folded.write_file f path;
+       Printf.eprintf "folded stacks written to %s\n" path
+     with Sys_error msg ->
+       Printf.eprintf "analyze trace: cannot write folded stacks: %s\n" msg;
+       exit 1)
+
+let trace_cmd =
+  let doc =
+    "Run one category and export its span tree as folded stacks (for \
+     flamegraph.pl / speedscope) and/or a Chrome trace"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Executes the pipeline for the category with the folded-stack \
+         sink installed and writes one line per unique span stack — \
+         'pipeline;noise-filter 1203944' — where the count is the \
+         stack's self time in integer nanoseconds (child time is \
+         attributed to the child's stack, so a frame's rendered width \
+         equals its inclusive time with no double counting).  Feed the \
+         file to flamegraph.pl or paste it into speedscope.";
+      `P
+        "$(b,--trace) (the shared flag) additionally or instead writes \
+         a chrome://tracing JSON trace of the same run.";
+    ]
+  in
+  let folded =
+    let doc = "Write folded stacks ('stack;frames count' lines) to \
+               $(docv)." in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+  in
+  let flamegraph =
+    let doc = "Alias of $(b,--folded)." in
+    Arg.(
+      value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc ~man)
+    Term.(
+      const trace_main $ category $ shards_flag $ folded $ flamegraph
+      $ backend_flag $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* store: inspect and feed the run store directly                      *)
+(* ------------------------------------------------------------------ *)
+
+let store_dir_arg =
+  let doc = "Run store directory." in
+  Arg.(
+    value & opt string Obs.Store.default_dir & info [ "store" ] ~docv:"DIR" ~doc)
+
+let store_ls_main dir =
+  let store =
+    Obs_cli.open_store_or_fail ~command:"analyze store ls" ~create:false dir
+  in
+  let entries = Obs.Store.entries store in
+  Printf.printf "%-4s %-16s %-16s %-12s %-10s %s\n" "seq" "config" "source"
+    "label" "backend" "file";
+  List.iter
+    (fun (e : Obs.Store.entry) ->
+      Printf.printf "%-4d %-16s %-16s %-12s %-10s %s\n" e.Obs.Store.seq
+        e.Obs.Store.config_digest e.Obs.Store.source e.Obs.Store.label
+        (Option.value e.Obs.Store.backend ~default:"-")
+        e.Obs.Store.file)
+    entries;
+  Printf.printf "%d run(s) in %s\n" (List.length entries) dir
+
+let store_ingest_main dir files =
+  if files = [] then begin
+    prerr_endline "analyze store ingest: give the manifest FILEs to ingest";
+    exit 2
+  end;
+  let command = "analyze store ingest" in
+  let store = Obs_cli.open_store_or_fail ~command ~create:true dir in
+  List.iter
+    (fun path ->
+      let m = Obs_cli.load_manifest ~command path in
+      match Obs.Store.ingest store m with
+      | Ok outcome ->
+        Printf.printf "%s: %s\n" path (Obs_cli.describe_outcome outcome)
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" command msg;
+        exit 1)
+    files
+
+let store_cmd =
+  let doc = "Inspect the run store, or ingest manifest files by hand" in
+  let ls =
+    let doc = "List every stored run (seq, config digest, source, label, \
+               backend, file)." in
+    Cmd.v (Cmd.info "ls" ~doc) Term.(const store_ls_main $ store_dir_arg)
+  in
+  let ingest =
+    let doc = "Ingest run-manifest JSON files (as written by --manifest) \
+               into the store; identical content dedupes." in
+    let files =
+      let doc = "Manifest files to ingest." in
+      Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "ingest" ~doc)
+      Term.(const store_ingest_main $ store_dir_arg $ files)
+  in
+  Cmd.group (Cmd.info "store" ~doc) [ ls; ingest ]
 
 let cmd =
   let doc =
@@ -916,10 +1278,13 @@ let cmd =
   let default =
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
-      $ csv_file $ auto_tau $ obs_term $ manifest_file $ shards_flag
-      $ preflight_flag $ backend_flag)
+      $ csv_file $ auto_tau $ obs_term $ manifest_file $ store_flag
+      $ shards_flag $ preflight_flag $ backend_flag)
   in
   Cmd.group ~default info
-    [ explain_cmd; shard_cmd; merge_cmd; lint_cmd; report_cmd ]
+    [
+      explain_cmd; shard_cmd; merge_cmd; lint_cmd; report_cmd; trend_cmd;
+      trace_cmd; store_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

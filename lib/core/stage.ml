@@ -790,13 +790,19 @@ let run_sharded ?config ~shards category =
                   Obs.counter "noise_filter.kept" )
             else None
           in
+          (* Progress taps: shard boundaries go straight to any
+             installed progress sink (a no-op otherwise) rather than
+             through a gauge, so manifests recorded without --progress
+             stay byte-identical. *)
           let classified_shards =
-            List.map
-              (fun range ->
+            List.mapi
+              (fun i range ->
+                Obs.Progress.note_shard ~index:i ~total:shards;
                 classify_shard ~config ~category
                   (collect_shard ~reps:config.reps category range))
               ranges
           in
+          Obs.Progress.note_shard ~index:shards ~total:shards;
           (match before with
           | Some b -> check_shard_counter_invariant ~category ~before:b
           | None -> ());

@@ -532,7 +532,7 @@ let diff a b =
     span_names;
   List.rev !changes
 
-let render_changes changes =
+let render_changes ?(show_timing = true) changes =
   let buf = Buffer.create 1024 in
   let nt = non_timing changes and t = timing_only changes in
   Printf.bprintf buf "%d non-timing difference(s), %d timing delta(s)\n"
@@ -547,5 +547,7 @@ let render_changes changes =
     end
   in
   section "non-timing differences:" nt;
-  section "timing deltas:" t;
+  if show_timing then section "timing deltas:" t
+  else if t <> [] then
+    Printf.bprintf buf "(timing deltas suppressed; pass --timing to list)\n";
   Buffer.contents buf

@@ -111,7 +111,12 @@ val diff : t -> t -> change list
 
 val non_timing : change list -> change list
 val timing_only : change list -> change list
-val render_changes : change list -> string
+
+val render_changes : ?show_timing:bool -> change list -> string
+(** Summary line, then the non-timing section and — with [show_timing]
+    (the default) — the timing section; with [~show_timing:false]
+    timing deltas are counted but not listed (the expected-noise case:
+    the caller only wants the non-timing verdict). *)
 
 val backend : t -> string option
 (** The storage backend recorded under the [backend] config key

@@ -7,6 +7,10 @@ module Histogram = Histogram
 module Gc_sample = Gc_sample
 module Recorder = Recorder
 module Manifest = Manifest
+module Store = Store
+module Trend = Trend
+module Folded = Folded
+module Progress = Progress
 
 type open_span = {
   id : int;
@@ -129,3 +133,17 @@ let counter name =
 let counters () =
   Hashtbl.fold (fun name c acc -> (name, !c) :: acc) counters_tbl []
   |> List.sort compare
+
+(* The collector owns sink installation, so the pairing of "install
+   the progress sink" with "subscribe it to the shard tap" lives
+   here; teardown runs even when [f] raises, so no heartbeat outlives
+   its run. *)
+let with_progress p f =
+  let s = Progress.sink p in
+  Progress.register p;
+  install s;
+  Fun.protect
+    ~finally:(fun () ->
+      uninstall s;
+      Progress.unregister p)
+    f

@@ -28,6 +28,10 @@ module Histogram = Histogram
 module Gc_sample = Gc_sample
 module Recorder = Recorder
 module Manifest = Manifest
+module Store = Store
+module Trend = Trend
+module Folded = Folded
+module Progress = Progress
 
 val enabled : unit -> bool
 (** True iff at least one sink is installed.  The disabled fast path
@@ -93,3 +97,10 @@ val counters : unit -> (string * float) list
 val reset_counters : unit -> unit
 (** Zero all counters and gauges (sinks are untouched) — used to
     measure per-phase deltas. *)
+
+(** {1 Live progress} *)
+
+val with_progress : Progress.t -> (unit -> 'a) -> 'a
+(** Run [f] with a progress sink installed and subscribed to the
+    shard tap ({!Progress.note_shard}); both are torn down when [f]
+    returns or raises. *)
