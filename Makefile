@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check lint lint-smoke bench bench-smoke bench-linalg bench-linalg-backends bench-shard bench-check bench-check-smoke manifest-smoke shard-smoke backend-smoke store-smoke trend-smoke repro examples figures docs clean
+.PHONY: all build test check lint lint-smoke bench bench-smoke bench-linalg bench-linalg-backends bench-shard bench-par bench-check bench-check-smoke manifest-smoke shard-smoke backend-smoke par-smoke store-smoke trend-smoke repro examples figures docs clean
 
 all: build
 
@@ -24,6 +24,7 @@ check:
 	dune exec bin/analyze.exe -- explain --smoke
 	$(MAKE) shard-smoke
 	$(MAKE) backend-smoke
+	$(MAKE) par-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) manifest-smoke
 	$(MAKE) bench-check-smoke
@@ -82,6 +83,23 @@ backend-smoke:
 	dune exec test/test_linalg_oracle.exe > /dev/null
 	dune exec bench/linalg_scale.exe -- --smoke --out /tmp/BENCH_backend_smoke.json
 
+# Domain-parallel execution must be byte-identical to the sequential
+# reference: the same sharded run at --jobs 1 and at --jobs 4 must
+# produce byte-identical output for every category (cmp, not diff),
+# and an impossible --jobs value must fail through the typed lint
+# diagnostic.  Finishes with the parallel-front benchmark smoke.
+par-smoke:
+	for c in cpu-flops gpu-flops branch dcache; do \
+	  dune exec bin/analyze.exe -- -c $$c --shards 3 --jobs 1 \
+	    --show summary,chosen,metrics > /tmp/par_smoke_seq.txt && \
+	  dune exec bin/analyze.exe -- -c $$c --shards 3 --jobs 4 \
+	    --show summary,chosen,metrics > /tmp/par_smoke_par.txt && \
+	  cmp /tmp/par_smoke_seq.txt /tmp/par_smoke_par.txt || exit 1; \
+	done
+	! dune exec bin/analyze.exe -- -c branch --jobs 0 --show summary 2> /dev/null
+	dune exec bench/par_bench.exe -- --smoke --out /tmp/BENCH_par_smoke.json
+	dune exec bench/par_bench.exe -- --check /tmp/BENCH_par_smoke.json
+
 # Side-by-side backend benchmark: one full-scale manifest per backend
 # under identical metric names, gated with the standard regression
 # policy (bigarray as "current" vs floatarray as "baseline") and
@@ -118,6 +136,13 @@ bench-shard:
 	  --trajectory bench/TRAJECTORY.jsonl
 	dune exec bench/shard_bench.exe -- --check bench/BENCH_shard.json
 
+# Parallel-front profile (sequential vs executor-dispatched front,
+# with the speedup verdict counter); refreshes bench/BENCH_par.json.
+bench-par:
+	dune exec bench/par_bench.exe -- --out bench/BENCH_par.json \
+	  --trajectory bench/TRAJECTORY.jsonl
+	dune exec bench/par_bench.exe -- --check bench/BENCH_par.json
+
 # Run-manifest smoke: emit a manifest from a real pipeline run, render
 # it, and diff two manifests of the same config — `analyze report
 # --diff` must exit zero (no non-timing differences).
@@ -145,6 +170,10 @@ bench-check:
 	dune exec bench/bench_check.exe -- --baseline bench/BENCH_shard.json \
 	  --current /tmp/BENCH_shard_now.json --from-store --store .analyze/store \
 	  --trajectory bench/TRAJECTORY.jsonl
+	dune exec bench/par_bench.exe -- --out /tmp/BENCH_par_now.json
+	dune exec bench/bench_check.exe -- --baseline bench/BENCH_par.json \
+	  --current /tmp/BENCH_par_now.json --from-store --store .analyze/store \
+	  --trajectory bench/TRAJECTORY.jsonl
 
 # Fast CI form of the gate: a smoke bench run compared against itself
 # must pass, the checked-in baselines must survive the strict decoder,
@@ -156,6 +185,7 @@ bench-check-smoke:
 	dune exec bench/linalg_scale.exe -- --check bench/BENCH_linalg.json
 	dune exec bench/linalg_scale.exe -- --check bench/BENCH_linalg_baseline.json
 	dune exec bench/shard_bench.exe -- --check bench/BENCH_shard.json
+	dune exec bench/par_bench.exe -- --check bench/BENCH_par.json
 	! dune exec bench/bench_check.exe -- --baseline /tmp/BENCH_gate_smoke.json \
 	  --current /tmp/BENCH_gate_smoke.json --inject 1000 > /dev/null 2>&1
 

@@ -172,7 +172,8 @@ let tagged ~suffixed base r =
       (Linalg.Backend.name r.backend)
   else Printf.sprintf "%s_%s" base (scale_key r)
 
-let manifest_of_results ~backend_mode ~smoke ~reps ~scales ~suffixed recorder
+let manifest_of_results ~backend_mode ~smoke ~reps ~scales ~jobs ~suffixed
+    recorder
     results =
   let storage =
     match backend_mode with
@@ -190,6 +191,7 @@ let manifest_of_results ~backend_mode ~smoke ~reps ~scales ~suffixed recorder
         | `Both -> "both" );
       ("smoke", string_of_bool smoke);
       ("reps", string_of_int reps);
+      ("jobs", string_of_int jobs);
       ( "scales",
         String.concat ","
           (List.map (fun (r, c) -> Printf.sprintf "%dx%d" r c) scales) );
@@ -238,9 +240,14 @@ let () =
   let check = ref "" in
   let trajectory = ref "" in
   let backend = ref "both" in
+  let jobs = ref 1 in
   let spec =
     [
       ("--smoke", Arg.Set smoke, "smallest scale, one repetition (CI smoke)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N executor domains for the parallel panel primitives (default 1, \
+         the sequential reference)" );
       ( "--backend",
         Arg.Set_string backend,
         "NAME storage backend to time: floatarray, bigarray, or 'both' \
@@ -252,7 +259,7 @@ let () =
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "linalg_scale [--smoke] [--backend NAME|both] [--out FILE] \
+    "linalg_scale [--smoke] [--backend NAME|both] [--jobs N] [--out FILE] \
      [--baseline FILE] [--check FILE] [--trajectory FILE]";
   if !check <> "" then begin
     let m =
@@ -289,6 +296,11 @@ let () =
   let suffixed r =
     backend_mode = `Both && r.backend <> Linalg.Backend.Floatarray
   in
+  if !jobs < 1 then begin
+    prerr_endline "linalg_scale: --jobs must be at least 1";
+    exit 2
+  end;
+  Core.Exec.set_default (Core.Exec.of_jobs !jobs);
   Obs.install (Obs.Memory.sink mem);
   let recorder = Obs.Recorder.create () in
   Obs.install (Obs.Recorder.sink recorder);
@@ -332,7 +344,8 @@ let () =
            | _ -> ())
          results);
   let m =
-    manifest_of_results ~backend_mode ~smoke:!smoke ~reps ~scales ~suffixed
+    manifest_of_results ~backend_mode ~smoke:!smoke ~reps ~scales ~jobs:!jobs
+      ~suffixed
       recorder results
   in
   Bench_report.write_manifest !out m;

@@ -112,11 +112,13 @@ let bench ~categories ~shard_counts =
 
 let sample_key s = Printf.sprintf "%s_s%d" s.category s.shards
 
-let manifest_of_samples ~smoke ~categories ~shard_counts recorder samples =
+let manifest_of_samples ~smoke ~categories ~shard_counts ~jobs recorder
+    samples =
   let config =
     [
       ("benchmark", "sharded-noise-filter");
       ("smoke", string_of_bool smoke);
+      ("jobs", string_of_int jobs);
       ( "categories",
         String.concat "," (List.map Core.Category.name categories) );
       ( "shard_counts",
@@ -164,9 +166,15 @@ let () =
   let out = ref "BENCH_shard.json" in
   let check = ref "" in
   let trajectory = ref "" in
+  let jobs = ref 1 in
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " shard counts 1-2, branch only");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N executor domains for the parallel kernel primitives (default 1; \
+         the shard loop itself stays sequential — it profiles per-shard \
+         peak memory)" );
       ("--out", Arg.Set_string out, "FILE output path (default BENCH_shard.json)");
       ( "--check",
         Arg.Set_string check,
@@ -176,7 +184,8 @@ let () =
         "FILE append a JSONL summary line to FILE" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "shard_bench [--smoke] [--out FILE] [--check FILE] [--trajectory FILE]";
+    "shard_bench [--smoke] [--jobs N] [--out FILE] [--check FILE] \
+     [--trajectory FILE]";
   if !check <> "" then begin
     match check_manifest !check with
     | m ->
@@ -189,6 +198,11 @@ let () =
       exit 1
   end
   else begin
+    if !jobs < 1 then begin
+      prerr_endline "shard_bench: --jobs must be at least 1";
+      exit 2
+    end;
+    Core.Exec.set_default (Core.Exec.of_jobs !jobs);
     let recorder = Obs.Recorder.create () in
     Obs.install (Obs.Recorder.sink recorder);
     let categories, shard_counts =
@@ -207,8 +221,8 @@ let () =
           (s.peak_live_words - s.baseline_live_words))
       samples;
     let m =
-      manifest_of_samples ~smoke:!smoke ~categories ~shard_counts recorder
-        samples
+      manifest_of_samples ~smoke:!smoke ~categories ~shard_counts ~jobs:!jobs
+        recorder samples
     in
     Bench_report.write_manifest !out m;
     (try ignore (check_manifest !out)

@@ -157,6 +157,28 @@ let shards_flag =
              count; the default 1 is the monolithic reference path." in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
+let jobs_flag =
+  let doc = "Execute on $(docv) domains: shards of the collection front \
+             run concurrently and the QRCP panel kernels split their \
+             column ranges across the pool.  Outputs are byte-identical \
+             for every jobs count (1, the default, is the sequential \
+             reference executor); the count is recorded in the run \
+             manifest's config (and its digest)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Jobs validation mirrors set_backend: a bad value is the typed
+   param/unknown-jobs diagnostic, not an argv failure.  Warnings
+   (jobs > shards) print but do not abort. *)
+let set_jobs ?shards jobs =
+  let ds = Check.Param_check.check_jobs ?shards jobs in
+  List.iter (fun d -> prerr_endline (Core.Diagnostic.render d)) ds;
+  if
+    List.exists
+      (fun d -> d.Core.Diagnostic.severity = Core.Diagnostic.Error)
+      ds
+  then exit 1;
+  Core.Exec.set_default (Core.Exec.of_jobs jobs)
+
 let preflight_flag =
   let doc = "Install the static pre-flight gate before running: the \
              category's declarative inputs (basis, signatures, thresholds, \
@@ -270,8 +292,9 @@ let run_category ?csv ?auto_tau ?summary ~shards ~tau ~alpha ~proj_tol ~reps
   print_newline ()
 
 let main category tau alpha proj_tol reps sections csv auto_tau obs manifest
-    store shards preflight backend =
+    store shards preflight backend jobs =
   set_backend backend;
+  set_jobs ~shards jobs;
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if shards < 1 then begin
     prerr_endline "analyze: --shards must be at least 1";
@@ -415,8 +438,9 @@ let smoke_category ?(shards = 1) category =
   check "chosen" chosen;
   check "discarded" discarded
 
-let explain_main category event all fate json smoke shards backend obs =
+let explain_main category event all fate json smoke shards backend jobs obs =
   set_backend backend;
+  set_jobs ~shards jobs;
   with_obs obs @@ fun ~summary:_ ->
   let module L = Provenance.Ledger in
   if smoke then begin
@@ -513,14 +537,16 @@ let explain_cmd =
     Term.(
       const explain_main $ explain_category $ explain_event $ explain_all
       $ explain_fate $ explain_json $ explain_smoke $ explain_shards
-      $ backend_flag $ obs_term)
+      $ backend_flag $ jobs_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* shard / merge: the serialized staged pipeline                       *)
 (* ------------------------------------------------------------------ *)
 
-let shard_main category index shards out tau alpha proj_tol reps backend obs =
+let shard_main category index shards out tau alpha proj_tol reps backend jobs
+    obs =
   set_backend backend;
+  set_jobs jobs;
   with_obs obs @@ fun ~summary:_ ->
   let category =
     match category with
@@ -595,10 +621,11 @@ let shard_cmd =
     (Cmd.info "shard" ~doc ~man)
     Term.(
       const shard_main $ explain_category $ index $ shards $ out $ tau $ alpha
-      $ proj_tol $ reps $ backend_flag $ obs_term)
+      $ proj_tol $ reps $ backend_flag $ jobs_flag $ obs_term)
 
-let merge_main files sections json manifest store backend obs =
+let merge_main files sections json manifest store backend jobs obs =
   set_backend backend;
+  set_jobs jobs;
   with_obs obs @@ fun ~summary:_ ->
   let sections = String.split_on_char ',' sections |> List.map String.trim in
   if files = [] then begin
@@ -681,7 +708,7 @@ let merge_cmd =
     (Cmd.info "merge" ~doc ~man)
     Term.(
       const merge_main $ files $ sections $ json $ manifest_file
-      $ store_flag $ backend_flag $ obs_term)
+      $ store_flag $ backend_flag $ jobs_flag $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* lint: the static pre-flight analyzer                                *)
@@ -824,6 +851,7 @@ let changes_to_json changes =
 let report_compare ~json ~quiet ~timing baseline current =
   let changes = Obs.Manifest.diff baseline current in
   let cross = Obs.Manifest.cross_backend baseline current in
+  let cross_j = Obs.Manifest.cross_jobs baseline current in
   if not quiet then
     if json then
       print_string (Jsonio.to_string (changes_to_json changes) ^ "\n")
@@ -836,17 +864,26 @@ let report_compare ~json ~quiet ~timing baseline current =
              must still agree)\n"
             ba bb)
         cross;
+      Option.iter
+        (fun (ja, jb) ->
+          Printf.printf
+            "cross-jobs comparison: %s vs %s (config.jobs and \
+             config_digest are expected to differ; everything else \
+             must still agree)\n"
+            ja jb)
+        cross_j;
       print_string (Obs.Manifest.render_changes ~show_timing:timing changes)
     end;
   (* Timing deltas are expected between any two runs; a non-timing
-     difference means the runs were not equivalent.  Across
-     backends the recorded backend name (and hence the config
-     digest) differs by construction — those two fields are the
-     labeled signature of a cross-backend comparison, and any
-     *other* non-timing difference still fails: the backends
-     promise byte-identical outputs. *)
+     difference means the runs were not equivalent.  Across backends
+     (or jobs counts) the recorded name (and hence the config digest)
+     differs by construction — those fields are the labeled signature
+     of a cross-backend/cross-jobs comparison, and any *other*
+     non-timing difference still fails: both axes promise
+     byte-identical outputs. *)
   let expected_cross path =
-    cross <> None && (path = "config.backend" || path = "config_digest")
+    (cross <> None && (path = "config.backend" || path = "config_digest"))
+    || (cross_j <> None && (path = "config.jobs" || path = "config_digest"))
   in
   let gating =
     List.filter
@@ -1279,7 +1316,7 @@ let cmd =
     Term.(
       const main $ category $ tau $ alpha $ proj_tol $ reps $ sections
       $ csv_file $ auto_tau $ obs_term $ manifest_file $ store_flag
-      $ shards_flag $ preflight_flag $ backend_flag)
+      $ shards_flag $ preflight_flag $ backend_flag $ jobs_flag)
   in
   Cmd.group ~default info
     [

@@ -143,6 +143,13 @@ let dcache_activities =
       cache := Some (reps, a);
       a
 
+(* Pre-force the activity cache from the calling (main) domain before
+   shard builders run on worker domains: the workers then only read
+   the populated cache.  (A concurrent miss would be benign — every
+   builder computes the same arrays and the cache write is a single
+   pointer store — but wasteful.) *)
+let prewarm_dcache ~reps = ignore (dcache_activities ~reps)
+
 let dcache_build ?(lo = 0) ?hi ~reduce ~reps () =
   let total = List.length Hwsim.Catalog_sapphire_rapids.events in
   let hi = Option.value hi ~default:total in

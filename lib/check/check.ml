@@ -110,6 +110,10 @@ let rules =
     rule "param/unknown-backend" D.Error
       "Unknown storage backend name"
       "[--backend] selects a compiled Linalg storage backend";
+    rule "param/unknown-jobs" D.Error
+      "Impossible or wasteful --jobs count"
+      "[--jobs] sizes the executor's domain pool (error below 1, \
+       warning above the shard count)";
     rule "stage/schema-drift" D.Error
       "Shard artifact encoder and decoder disagree"
       "Multi-machine sweeps ship classified-shard JSON between builds";

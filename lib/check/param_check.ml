@@ -126,6 +126,38 @@ let check_backend ?category name =
         (String.concat ", " Linalg.Backend.names);
     ]
 
+(* The jobs count is configuration the same way: reject impossible
+   values as typed diagnostics, and flag the shape that silently buys
+   nothing — more workers than shards leaves the surplus idle for the
+   whole front (the panel kernels can still use them downstream, hence
+   a warning, not an error). *)
+let check_jobs ?category ?shards jobs =
+  if jobs < 1 then
+    [
+      diag ?category
+        ~data:[ ("jobs", fnum (float_of_int jobs)) ]
+        "param/unknown-jobs" D.Error "jobs"
+        "jobs = %d: the executor needs at least one domain (--jobs 1 is \
+         the sequential reference)"
+        jobs;
+    ]
+  else
+    match shards with
+    | Some s when s >= 1 && jobs > s ->
+      [
+        diag ?category
+          ~data:
+            [
+              ("jobs", fnum (float_of_int jobs));
+              ("shards", fnum (float_of_int s));
+            ]
+          "param/unknown-jobs" D.Warn "jobs"
+          "jobs = %d exceeds the %d shard(s) of the front: the extra \
+           domains idle until the QRCP panels run"
+          jobs s;
+      ]
+    | _ -> []
+
 let analyze ?category ?beta ~(config : Core.Pipeline.config) ~rows () =
   let beta =
     match beta with

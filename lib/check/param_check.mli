@@ -40,6 +40,12 @@ val check_backend : ?category:string -> string -> Core.Diagnostic.t list
     compiled storage backend ({!Linalg.Backend.of_name}); the message
     lists this build's valid names. *)
 
+val check_jobs :
+  ?category:string -> ?shards:int -> int -> Core.Diagnostic.t list
+(** [param/unknown-jobs]: error when [jobs < 1] (the executor needs at
+    least one domain), warning when [shards] is given and [jobs]
+    exceeds it (the surplus domains idle through the shard front). *)
+
 val analyze :
   ?category:string ->
   ?beta:float ->

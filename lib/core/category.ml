@@ -45,6 +45,12 @@ let dataset_range ?reps ~lo ~hi = function
   | Branch -> Cat_bench.Dataset.branch_range ?reps ~lo ~hi ()
   | Dcache -> Cat_bench.Dataset.dcache_range ?reps ~lo ~hi ()
 
+(* Force any module-level cache the shard builders share, from the
+   calling domain, before shards are dispatched to workers. *)
+let prewarm ~reps = function
+  | Dcache -> Cat_bench.Dataset.prewarm_dcache ~reps
+  | Cpu_flops | Gpu_flops | Branch -> ()
+
 let ideals = function
   | Cpu_flops -> Cat_bench.Ideal.cpu_flops ()
   | Gpu_flops -> Cat_bench.Ideal.gpu_flops ()

@@ -1,0 +1,5 @@
+(* Re-export of the executor abstraction under the Core namespace, so
+   pipeline callers (CLI, benches, tests) pick the execution strategy
+   without depending on the leaf library directly. *)
+
+include Executor

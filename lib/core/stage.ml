@@ -372,15 +372,19 @@ let fate_totals (r : result) =
     ("chosen", f chosen);
   ]
 
-let config_pairs ~category ~config ~shards (r : result) =
+let config_pairs ~category ~config ~shards ~jobs (r : result) =
   let g = Printf.sprintf "%.17g" in
   [
     ("category", Category.name category);
     ("machine", Category.machine category);
     (* The storage backend enters the config digest, so manifests from
        different backends diff as explicit config drift rather than
-       silent timing drift (`analyze report --diff` labels it). *)
+       silent timing drift (`analyze report --diff` labels it).  The
+       jobs count follows the same discipline: runs at different
+       concurrency diff as config drift even though their outputs are
+       byte-identical. *)
     ("backend", Linalg.Backend.name (Linalg.Backend.default ()));
+    ("jobs", string_of_int jobs);
     ("tau", g config.tau);
     ("alpha", g config.alpha);
     ( "beta",
@@ -403,7 +407,10 @@ let gc_pairs (d : Obs.Gc_sample.t) =
     ("top_heap_words", f d.Obs.Gc_sample.top_heap_words);
   ]
 
-let with_manifest ~source ~category ~config ~shards f =
+let with_manifest ~source ~category ~config ~shards ?jobs f =
+  let jobs =
+    match jobs with Some j -> j | None -> Executor.jobs (Executor.default ())
+  in
   match !manifest_hook with
   | Some emit when not !manifest_active ->
     manifest_active := true;
@@ -435,7 +442,7 @@ let with_manifest ~source ~category ~config ~shards f =
     manifest_artifacts := [];
     let m =
       Obs.Manifest.of_recorder ~source ~label:(Category.name category)
-        ~config:(config_pairs ~category ~config ~shards r)
+        ~config:(config_pairs ~category ~config ~shards ~jobs r)
         ~totals:(fate_totals r) ~gc:(gc_pairs gc_delta) ?lint:!last_lint
         ~artifacts recorder
     in
@@ -770,11 +777,62 @@ let check_shard_counter_invariant ~category ~before:(ev0, kp0, nf_kept0) =
           by %g but noise_filter.kept by %g"
          d_kept d_nf_kept)
 
-let run_sharded ?config ~shards category =
+(* Execute the collect+classify front over the shard ranges.
+
+   [Seq] is the bit-exact reference: the same direct calls in index
+   order the pre-executor code made, with no wrapping of any kind.
+
+   [Domains] hands shards to the pool.  Each task is wrapped in
+   [Obs.with_capture] so worker domains never touch the collector's
+   global state; the captures are replayed on this domain in shard
+   order, so sinks, counters (and therefore the shard-counter
+   invariant and recorded manifests) observe exactly the stream a
+   sequential front would have produced.  Module-level caches a task
+   could populate ([Dataset.dcache_activities]) are pre-forced here
+   first, so workers only ever read them. *)
+let run_front ~config ~category ~executor ~shards ranges =
+  let work i range =
+    Obs.Progress.note_shard_start ~index:i ~total:shards;
+    let t0 = Obs.Clock.now_ns () in
+    let s =
+      classify_shard ~config ~category
+        (collect_shard ~reps:config.reps category range)
+    in
+    Obs.Progress.note_shard_done ~total:shards
+      ~dur_ns:(Int64.sub (Obs.Clock.now_ns ()) t0);
+    s
+  in
+  match executor with
+  | Executor.Seq ->
+    let classified =
+      List.mapi
+        (fun i range ->
+          Obs.Progress.note_shard ~index:i ~total:shards;
+          work i range)
+        ranges
+    in
+    Obs.Progress.note_shard ~index:shards ~total:shards;
+    classified
+  | Executor.Domains _ as e ->
+    Category.prewarm ~reps:config.reps category;
+    Obs.Progress.note_front ~total:shards ~jobs:(Executor.jobs e);
+    let arr = Array.of_list ranges in
+    let tagged =
+      Executor.map ~executor:e (Array.length arr) (fun i ->
+          Obs.with_capture (fun () -> work i arr.(i)))
+    in
+    Array.iter (fun (_, cap) -> Option.iter Obs.replay cap) tagged;
+    Array.to_list (Array.map fst tagged)
+
+let run_sharded ?config ?executor ~shards category =
   let config =
     match config with Some c -> c | None -> default_config category
   in
-  with_manifest ~source:"pipeline" ~category ~config ~shards (fun () ->
+  let executor =
+    match executor with Some e -> e | None -> Executor.default ()
+  in
+  with_manifest ~source:"pipeline" ~category ~config ~shards
+    ~jobs:(Executor.jobs executor) (fun () ->
       preflight_check category;
       Obs.span "pipeline" (fun () ->
           Obs.attr_str "category" (Category.name category);
@@ -795,14 +853,8 @@ let run_sharded ?config ~shards category =
              through a gauge, so manifests recorded without --progress
              stay byte-identical. *)
           let classified_shards =
-            List.mapi
-              (fun i range ->
-                Obs.Progress.note_shard ~index:i ~total:shards;
-                classify_shard ~config ~category
-                  (collect_shard ~reps:config.reps category range))
-              ranges
+            run_front ~config ~category ~executor ~shards ranges
           in
-          Obs.Progress.note_shard ~index:shards ~total:shards;
           (match before with
           | Some b -> check_shard_counter_invariant ~category ~before:b
           | None -> ());

@@ -102,13 +102,15 @@ val with_manifest :
   category:Category.t ->
   config:config ->
   shards:int ->
+  ?jobs:int ->
   (unit -> result) ->
   result
 (** Run [f] under scoped manifest collection and emit the manifest to
     the installed hook.  Exactly [f ()] when no hook is installed;
     reentrant calls (run_sharded wrapping run_merged) collect once,
     at the outermost scope.  On exception the recorder is torn down
-    and nothing is emitted. *)
+    and nothing is emitted.  [jobs] is recorded in the manifest config
+    (defaults to the jobs of {!Exec.default}). *)
 
 val fate_totals : result -> (string * float) list
 (** The ledger fate totals of a finished run, recomputed from the
@@ -204,10 +206,15 @@ val run_merged : category:Category.t -> classified_shard list -> result
     [Provenance.Ledger.merge] at the shard boundaries, so every
     sharded run exercises the conflict-detecting ledger merge. *)
 
-val run_sharded : ?config:config -> shards:int -> Category.t -> result
+val run_sharded :
+  ?config:config -> ?executor:Exec.t -> shards:int -> Category.t -> result
 (** The full sharded pipeline: partition the catalog, collect and
     classify each shard, merge, run downstream.  Bit-identical to
-    {!Pipeline.run} for every [shards >= 1]. *)
+    {!Pipeline.run} for every [shards >= 1], and — for every executor
+    — to the [Exec.Seq] reference: shards are pure functions of their
+    catalog range, worker-domain [Obs] events are captured and
+    replayed in shard order, and the merge is order-insensitive by
+    construction.  [executor] defaults to {!Exec.default}. *)
 
 val publish_ledger_counters : Provenance.Ledger.t -> unit
 (** Publish the [ledger.*] stage-total counters (used by the

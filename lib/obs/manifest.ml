@@ -431,6 +431,13 @@ let cross_backend a b =
   | Some ba, Some bb when ba <> bb -> Some (ba, bb)
   | _ -> None
 
+let jobs t = List.assoc_opt "jobs" t.config
+
+let cross_jobs a b =
+  match (jobs a, jobs b) with
+  | Some ja, Some jb when ja <> jb -> Some (ja, jb)
+  | _ -> None
+
 let diff a b =
   let changes = ref [] in
   let push ~timing path before after =

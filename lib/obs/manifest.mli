@@ -130,3 +130,14 @@ val cross_backend : t -> t -> (string * string) option
     [config.backend]/[config_digest] differences {!diff} reports are
     the expected signature of that, not silent drift.  [analyze
     report --diff] uses this to label such comparisons explicitly. *)
+
+val jobs : t -> string option
+(** The executor concurrency recorded under the [jobs] config key
+    (older manifests may not carry it). *)
+
+val cross_jobs : t -> t -> (string * string) option
+(** [cross_jobs a b] is [Some (ja, jb)] when both manifests record a
+    jobs count and they differ — runs of the same computation at
+    different concurrency, whose [config.jobs]/[config_digest]
+    differences are expected (outputs are byte-identical across jobs
+    by the executor contract). *)

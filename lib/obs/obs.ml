@@ -28,6 +28,43 @@ let gauges_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
 
 let enabled () = !enabled_flag
 
+(* --- Per-domain capture ---------------------------------------------
+
+   The collector's global state (sinks, span stack, counter tables) is
+   owned by the main domain.  Code running on worker domains must not
+   touch it; instead a task is wrapped in [with_capture], which
+   installs a domain-local buffer recording every span/counter/gauge
+   event the task emits.  The caller replays buffers on the main
+   domain in task-index order, so sinks observe one deterministic
+   sequential stream regardless of how tasks were scheduled.
+
+   Captured span ids are buffer-local (they start at 1 per capture);
+   [replay] remaps them to fresh global ids and reparents top-level
+   captured spans under the span currently open on the main domain. *)
+
+type captured_event =
+  | Cstart of { id : int; parent : int; name : string; ts_ns : int64 }
+  | Cend of {
+      id : int;
+      name : string;
+      ts_ns : int64;
+      dur_ns : int64;
+      attrs : (string * Sink.attr) list;
+    }
+  | Ccounter of { name : string; delta : float }
+  | Cgauge of { name : string; value : float }
+
+type capture = {
+  mutable rev_events : captured_event list;
+  mutable cap_stack : open_span list;
+  mutable cap_next : int;
+}
+
+let capture_key : capture option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_capture () = Domain.DLS.get capture_key
+
 let install sink =
   sinks := !sinks @ [ sink ];
   enabled_flag := true
@@ -47,17 +84,30 @@ let clear () =
   next_id := 1;
   reset_counters ()
 
+let cap_begin_span c name =
+  let id = c.cap_next in
+  c.cap_next <- id + 1;
+  let parent = match c.cap_stack with [] -> 0 | s :: _ -> s.id in
+  let ts_ns = Clock.now_ns () in
+  c.cap_stack <- { id; name; start_ns = ts_ns; rev_attrs = [] } :: c.cap_stack;
+  c.rev_events <- Cstart { id; parent; name; ts_ns } :: c.rev_events;
+  id
+
 let begin_span name =
   if not !enabled_flag then 0
-  else begin
-    let id = !next_id in
-    Stdlib.incr next_id;
-    let parent = match !stack with [] -> 0 | s :: _ -> s.id in
-    let ts_ns = Clock.now_ns () in
-    stack := { id; name; start_ns = ts_ns; rev_attrs = [] } :: !stack;
-    List.iter (fun (s : Sink.t) -> s.on_span_start ~id ~parent ~name ~ts_ns) !sinks;
-    id
-  end
+  else
+    match current_capture () with
+    | Some c -> cap_begin_span c name
+    | None ->
+      let id = !next_id in
+      Stdlib.incr next_id;
+      let parent = match !stack with [] -> 0 | s :: _ -> s.id in
+      let ts_ns = Clock.now_ns () in
+      stack := { id; name; start_ns = ts_ns; rev_attrs = [] } :: !stack;
+      List.iter
+        (fun (s : Sink.t) -> s.on_span_start ~id ~parent ~name ~ts_ns)
+        !sinks;
+      id
 
 let close_one (s : open_span) =
   let ts_ns = Clock.now_ns () in
@@ -68,20 +118,44 @@ let close_one (s : open_span) =
         ~attrs:(List.rev s.rev_attrs))
     !sinks
 
-let end_span id =
-  if id <> 0 && List.exists (fun s -> s.id = id) !stack then begin
-    (* Close any spans opened after [id] first, so an exception that
-       skipped their end_span cannot corrupt the nesting. *)
+let cap_close c (s : open_span) =
+  let ts_ns = Clock.now_ns () in
+  let dur_ns = Int64.sub ts_ns s.start_ns in
+  c.rev_events <-
+    Cend
+      { id = s.id; name = s.name; ts_ns; dur_ns; attrs = List.rev s.rev_attrs }
+    :: c.rev_events
+
+let cap_end_span c id =
+  if id <> 0 && List.exists (fun s -> s.id = id) c.cap_stack then begin
     let rec pop () =
-      match !stack with
+      match c.cap_stack with
       | [] -> ()
       | s :: rest ->
-        stack := rest;
-        close_one s;
+        c.cap_stack <- rest;
+        cap_close c s;
         if s.id <> id then pop ()
     in
     pop ()
   end
+
+let end_span id =
+  match current_capture () with
+  | Some c -> cap_end_span c id
+  | None ->
+    if id <> 0 && List.exists (fun s -> s.id = id) !stack then begin
+      (* Close any spans opened after [id] first, so an exception that
+         skipped their end_span cannot corrupt the nesting. *)
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | s :: rest ->
+          stack := rest;
+          close_one s;
+          if s.id <> id then pop ()
+      in
+      pop ()
+    end
 
 let span name f =
   if not !enabled_flag then f ()
@@ -91,7 +165,10 @@ let span name f =
   end
 
 let set_attr name v =
-  match !stack with
+  let st =
+    match current_capture () with Some c -> c.cap_stack | None -> !stack
+  in
+  match st with
   | [] -> ()
   | s :: _ -> s.rev_attrs <- (name, v) :: s.rev_attrs
 
@@ -102,6 +179,9 @@ let attr_bool name v = if !enabled_flag then set_attr name (Sink.Bool v)
 
 let add name delta =
   if !enabled_flag then begin
+    match current_capture () with
+    | Some c -> c.rev_events <- Ccounter { name; delta } :: c.rev_events
+    | None ->
     let cell =
       match Hashtbl.find_opt counters_tbl name with
       | Some c -> c
@@ -120,6 +200,9 @@ let incr name = add name 1.0
 
 let gauge name value =
   if !enabled_flag then begin
+    match current_capture () with
+    | Some c -> c.rev_events <- Cgauge { name; value } :: c.rev_events
+    | None ->
     (match Hashtbl.find_opt gauges_tbl name with
     | Some c -> c := value
     | None -> Hashtbl.add gauges_tbl name (ref value));
@@ -133,6 +216,57 @@ let counter name =
 let counters () =
   Hashtbl.fold (fun name c acc -> (name, !c) :: acc) counters_tbl []
   |> List.sort compare
+
+let with_capture f =
+  if not !enabled_flag then (f (), None)
+  else begin
+    let c = { rev_events = []; cap_stack = []; cap_next = 1 } in
+    let saved = Domain.DLS.get capture_key in
+    Domain.DLS.set capture_key (Some c);
+    match f () with
+    | v ->
+      (* Close anything the task left open so replay never dangles. *)
+      List.iter (cap_close c) c.cap_stack;
+      c.cap_stack <- [];
+      Domain.DLS.set capture_key saved;
+      (v, Some c)
+    | exception e ->
+      Domain.DLS.set capture_key saved;
+      raise e
+  end
+
+let replay c =
+  if !enabled_flag then begin
+    let id_map = Hashtbl.create 16 in
+    let base_parent = match !stack with [] -> 0 | s :: _ -> s.id in
+    List.iter
+      (function
+        | Cstart { id; parent; name; ts_ns } ->
+          let gid = !next_id in
+          Stdlib.incr next_id;
+          Hashtbl.replace id_map id gid;
+          let gparent =
+            if parent = 0 then base_parent
+            else
+              match Hashtbl.find_opt id_map parent with
+              | Some p -> p
+              | None -> base_parent
+          in
+          List.iter
+            (fun (s : Sink.t) ->
+              s.on_span_start ~id:gid ~parent:gparent ~name ~ts_ns)
+            !sinks
+        | Cend { id; name; ts_ns; dur_ns; attrs } ->
+          let gid =
+            match Hashtbl.find_opt id_map id with Some g -> g | None -> 0
+          in
+          List.iter
+            (fun (s : Sink.t) -> s.on_span_end ~id:gid ~name ~ts_ns ~dur_ns ~attrs)
+            !sinks
+        | Ccounter { name; delta } -> add name delta
+        | Cgauge { name; value } -> gauge name value)
+      (List.rev c.rev_events)
+  end
 
 (* The collector owns sink installation, so the pairing of "install
    the progress sink" with "subscribe it to the shard tap" lives

@@ -16,8 +16,15 @@
     Instrumentation discipline for hot paths: guard anything that
     would allocate (attribute values, formatted names, closures worth
     avoiding) behind {!enabled}; bare {!incr}/{!begin_span} calls with
-    constant names are safe to leave unguarded.  The collector is not
-    thread-safe — the analysis pipeline is single-threaded. *)
+    constant names are safe to leave unguarded.
+
+    The collector's global state (sinks, span stack, counter tables)
+    belongs to the main domain.  Code dispatched to worker domains by
+    [Executor] must be wrapped in {!with_capture}, which buffers the
+    task's events domain-locally; the caller then {!replay}s the
+    buffers on the main domain in task-index order.  Sinks therefore
+    always observe one deterministic sequential event stream and never
+    need their own locking. *)
 
 module Sink = Sink
 module Clock = Clock
@@ -97,6 +104,32 @@ val counters : unit -> (string * float) list
 val reset_counters : unit -> unit
 (** Zero all counters and gauges (sinks are untouched) — used to
     measure per-phase deltas. *)
+
+(** {1 Per-domain capture}
+
+    Support for running instrumented code on worker domains without
+    touching the main domain's collector state. *)
+
+type capture
+(** A buffered stream of span/counter/gauge events recorded by one
+    task. *)
+
+val with_capture : (unit -> 'a) -> 'a * capture option
+(** [with_capture f] runs [f] with every collector entry point
+    redirected into a fresh domain-local buffer, restoring the
+    previous redirection afterwards.  Returns [f ()]'s value together
+    with the buffer ([None] when the collector is disabled — [f] then
+    ran with the usual zero-overhead no-ops).  Safe to call on any
+    domain; spans left open by [f] are closed at scope exit.  On
+    exception the buffer is discarded and the exception propagates. *)
+
+val replay : capture -> unit
+(** Replay a captured buffer into the main collector: spans get fresh
+    global ids (top-level captured spans are reparented under the
+    currently open span), counter deltas go through the normal
+    accumulation path, gauges are re-set.  Call on the main domain
+    only, once per capture, in the task order whose interleaving you
+    want sinks to observe.  No-op when the collector is disabled. *)
 
 (** {1 Live progress} *)
 

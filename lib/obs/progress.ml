@@ -1,13 +1,19 @@
 (* The live progress sink: single-line stderr heartbeats at a bounded
    rate, fed entirely from the event stream (span boundaries, counter
-   totals) plus one out-of-band shard tap.
+   totals) plus out-of-band shard taps.
 
-   The tap exists because shard progress is a *hint*, not telemetry:
+   The taps exist because shard progress is a *hint*, not telemetry:
    publishing it as a gauge would make it part of every recorded
    manifest and break the byte-identity of manifests captured with
-   and without --progress.  note_shard goes straight to the installed
-   progress sinks and nowhere else, and is a single list check when
-   none is installed. *)
+   and without --progress.  note_shard/note_shard_start/note_shard_done
+   go straight to the installed progress sinks and nowhere else, and
+   are a single list check when none is installed.
+
+   Thread safety: the shard taps are called from worker domains while
+   the sink callbacks run on the main domain, so every state mutation
+   and every emission happens under one module-level mutex.  The lock
+   is cheap (uncontended except at shard boundaries) and is never held
+   across anything that can re-enter this module. *)
 
 type t = {
   out : string -> unit;
@@ -17,10 +23,16 @@ type t = {
   mutable stack : string list;  (* innermost first *)
   mutable shard : int;  (* 0-based index of the shard underway; -1 none *)
   mutable shards : int;  (* total; 0 when not sharded *)
+  mutable jobs : int;  (* announced concurrency; 1 = serial *)
+  mutable done_shards : int;  (* shards completed (note_shard_done) *)
   mutable events : float;  (* dataset.events_measured total *)
   span_hists : (string, Histogram.t) Hashtbl.t;  (* completed spans *)
+  shard_hist : Histogram.t;  (* whole-shard front durations *)
   mutable emitted : int;
 }
+
+let lock = Mutex.create ()
+let locked f = Mutex.protect lock f
 
 let default_out line =
   Printf.eprintf "%s\n%!" line
@@ -35,8 +47,11 @@ let create ?(out = default_out) ?(min_interval_ns = 200_000_000L) () =
     stack = [];
     shard = -1;
     shards = 0;
+    jobs = 1;
+    done_shards = 0;
     events = 0.0;
     span_hists = Hashtbl.create 16;
+    shard_hist = Histogram.create ();
     emitted = 0;
   }
 
@@ -55,12 +70,22 @@ let note_hist t name dur_ns =
   in
   Histogram.observe h (Int64.to_float dur_ns)
 
-(* ETA: remaining shards times the median cost of one shard's front
-   stages, read from the running histograms of the spans the staged
-   pipeline emits per shard.  Conservative and cheap; absent until at
-   least one shard has completed. *)
+(* ETA.  Preferred source: the histogram of whole-shard durations fed
+   by note_shard_done, divided by the announced concurrency — under
+   [--jobs N] the remaining shards complete roughly N at a time, so
+   serial extrapolation would overshoot by a factor of N.  Fallback
+   (nothing measured yet through the tap): the running histograms of
+   the per-shard front spans, as before.  Conservative and cheap;
+   absent until at least one shard has completed. *)
 let eta_ns t =
-  if t.shards <= 0 || t.shard < 0 then None
+  if t.shards <= 0 then None
+  else if Histogram.count t.shard_hist > 0 then begin
+    let per_shard = Histogram.quantile t.shard_hist 0.5 in
+    let remaining = max (t.shards - t.done_shards) 0 in
+    let effective = max 1 (min t.jobs (max remaining 1)) in
+    Some (float_of_int remaining *. per_shard /. float_of_int effective)
+  end
+  else if t.shard < 0 then None
   else
     let median name =
       match Hashtbl.find_opt t.span_hists name with
@@ -71,7 +96,9 @@ let eta_ns t =
     if Float.is_nan per_shard then None
     else
       let remaining = t.shards - t.shard in
-      Some (float_of_int (max remaining 0) *. per_shard)
+      Some
+        (float_of_int (max remaining 0) *. per_shard
+        /. float_of_int (max 1 t.jobs))
 
 let seconds ns = ns /. 1e9
 
@@ -82,7 +109,10 @@ let line t ~now_ns =
   (match t.stack with
   | stage :: _ -> Printf.bprintf buf " stage=%s" stage
   | [] -> ());
-  if t.shards > 0 && t.shard >= 0 then
+  if t.jobs > 1 && t.shards > 0 then
+    Printf.bprintf buf " shards %d/%d done jobs=%d" t.done_shards t.shards
+      t.jobs
+  else if t.shards > 0 && t.shard >= 0 then
     Printf.bprintf buf " shard %d/%d" (min (t.shard + 1) t.shards) t.shards;
   if t.events > 0.0 then Printf.bprintf buf " events=%.0f" t.events;
   (match eta_ns t with
@@ -90,6 +120,7 @@ let line t ~now_ns =
   | None -> ());
   Buffer.contents buf
 
+(* Caller holds [lock]. *)
 let maybe_emit t =
   let now = Clock.now_ns () in
   if Int64.compare (Int64.sub now t.last_emit_ns) t.min_interval_ns >= 0 then begin
@@ -102,33 +133,69 @@ let sink t =
   {
     Sink.on_span_start =
       (fun ~id:_ ~parent:_ ~name ~ts_ns:_ ->
-        t.stack <- name :: t.stack;
-        maybe_emit t);
+        locked (fun () ->
+            t.stack <- name :: t.stack;
+            maybe_emit t));
     on_span_end =
       (fun ~id:_ ~name ~ts_ns:_ ~dur_ns ~attrs:_ ->
-        (match t.stack with [] -> () | _ :: rest -> t.stack <- rest);
-        note_hist t name dur_ns;
-        maybe_emit t);
+        locked (fun () ->
+            (match t.stack with [] -> () | _ :: rest -> t.stack <- rest);
+            note_hist t name dur_ns;
+            maybe_emit t));
     on_counter =
       (fun ~name ~delta:_ ~total ~ts_ns:_ ->
-        if name = "dataset.events_measured" then t.events <- total;
-        maybe_emit t);
+        locked (fun () ->
+            if name = "dataset.events_measured" then t.events <- total;
+            maybe_emit t));
     on_gauge = (fun ~name:_ ~value:_ ~ts_ns:_ -> ());
   }
 
-(* Registration only covers the note_shard tap; installing the sink
+(* Registration only covers the out-of-band taps; installing the sink
    into the collector is the caller's move (Obs.with_progress pairs
    the two, since the collector lives above this module). *)
-let register t = if not (List.memq t !actives) then actives := t :: !actives
+let register t =
+  locked (fun () ->
+      if not (List.memq t !actives) then actives := t :: !actives)
 
-let unregister t = actives := List.filter (fun x -> x != t) !actives
+let unregister t =
+  locked (fun () -> actives := List.filter (fun x -> x != t) !actives)
 
 let note_shard ~index ~total =
-  List.iter
-    (fun t ->
-      t.shard <- index;
-      t.shards <- total;
-      maybe_emit t)
-    !actives
+  locked (fun () ->
+      List.iter
+        (fun t ->
+          t.shard <- index;
+          t.shards <- total;
+          maybe_emit t)
+        !actives)
 
-let lines t = t.emitted
+let note_front ~total ~jobs =
+  locked (fun () ->
+      List.iter
+        (fun t ->
+          t.shards <- total;
+          t.jobs <- max 1 jobs;
+          t.done_shards <- 0;
+          maybe_emit t)
+        !actives)
+
+let note_shard_start ~index ~total =
+  locked (fun () ->
+      List.iter
+        (fun t ->
+          t.shards <- total;
+          if index > t.shard then t.shard <- index;
+          maybe_emit t)
+        !actives)
+
+let note_shard_done ~total ~dur_ns =
+  locked (fun () ->
+      List.iter
+        (fun t ->
+          t.shards <- total;
+          t.done_shards <- t.done_shards + 1;
+          Histogram.observe t.shard_hist (Int64.to_float dur_ns);
+          maybe_emit t)
+        !actives)
+
+let lines t = locked (fun () -> t.emitted)

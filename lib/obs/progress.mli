@@ -16,10 +16,18 @@
     Like every sink, the progress path costs nothing when not
     installed; installed, it only reads the event stream and writes
     lines through [out], so pipeline outputs are bit-identical with
-    and without it (pinned by test).  {!note_shard} is the one
-    out-of-band tap: it is a no-op unless a progress sink is
-    installed, so the staged pipeline can announce shard boundaries
-    without polluting recorded gauges (and therefore manifests). *)
+    and without it (pinned by test).  {!note_shard},
+    {!note_shard_start} and {!note_shard_done} are the out-of-band
+    taps: no-ops unless a progress sink is installed, so the staged
+    pipeline can announce shard boundaries without polluting recorded
+    gauges (and therefore manifests).
+
+    Thread safety: all taps and sink callbacks are serialized behind
+    one internal mutex, so they may be called from worker domains (the
+    parallel shard front calls {!note_shard_start}/{!note_shard_done}
+    from inside tasks).  Under [--jobs N] the ETA divides the median
+    per-shard duration by the announced concurrency instead of
+    assuming serial completion. *)
 
 type t
 
@@ -46,6 +54,18 @@ val active : unit -> bool
 val note_shard : index:int -> total:int -> unit
 (** Announce that shard [index] (0-based) of [total] is about to run.
     No-op when {!active} is false. *)
+
+val note_front : total:int -> jobs:int -> unit
+(** Announce the start of a sharded front: [total] shards to run with
+    [jobs]-way concurrency.  Resets the done count. *)
+
+val note_shard_start : index:int -> total:int -> unit
+(** A shard began executing (worker-domain safe). *)
+
+val note_shard_done : total:int -> dur_ns:int64 -> unit
+(** A shard finished after [dur_ns] (worker-domain safe); feeds the
+    completion count and the per-shard duration histogram the
+    concurrent ETA is computed from. *)
 
 val lines : t -> int
 (** Heartbeats emitted so far (for the rate-bound tests). *)

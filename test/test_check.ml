@@ -269,6 +269,20 @@ let test_param_reps_too_few () =
   let ds = Check.Param_check.check_reps 1 in
   expect_only_error ds "param/reps-too-few"
 
+let test_param_jobs () =
+  let ds = Check.Param_check.check_jobs 0 in
+  expect_only_error ds "param/unknown-jobs";
+  (* More domains than shards: wasteful, not wrong. *)
+  let ds = Check.Param_check.check_jobs ~shards:2 8 in
+  expect_rule ds "param/unknown-jobs" D.Warn;
+  Alcotest.(check (list string)) "no errors" [] (error_ids ds);
+  Alcotest.(check (list string))
+    "jobs <= shards is clean" []
+    (ids (Check.Param_check.check_jobs ~shards:4 4));
+  Alcotest.(check (list string))
+    "sequential reference is clean" []
+    (ids (Check.Param_check.check_jobs 1))
+
 (* --- stage/* -------------------------------------------------- *)
 
 let test_stage_schema_drift () =
@@ -489,6 +503,7 @@ let () =
           Alcotest.test_case "projection tol" `Quick
             test_param_projection_tol;
           Alcotest.test_case "too few reps" `Quick test_param_reps_too_few;
+          Alcotest.test_case "jobs" `Quick test_param_jobs;
         ] );
       ( "stage",
         [

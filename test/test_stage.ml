@@ -311,6 +311,133 @@ let test_merged_ledger_fates () =
   let chain = L.chain l (List.hd l.L.entries) in
   Alcotest.(check bool) "chain renders" true (String.length chain > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Executor: unit behavior of the domain pool                          *)
+(* ------------------------------------------------------------------ *)
+
+module E = Core.Exec
+
+let test_executor_unit () =
+  let f i = (i * i) + 1 in
+  Alcotest.(check (array int))
+    "seq map" (Array.init 10 f)
+    (E.map ~executor:E.Seq 10 f);
+  Alcotest.(check (array int))
+    "parallel map" (Array.init 100 f)
+    (E.map ~executor:(E.Domains 4) 100 f);
+  let hits = Array.make 50 0 in
+  E.iter_ranges ~executor:(E.Domains 3) ~lo:0 ~hi:50 (fun a b ->
+      for i = a to b - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check bool)
+    "iter_ranges covers each index once" true
+    (Array.for_all (fun n -> n = 1) hits);
+  E.iter_ranges ~executor:(E.Domains 3) ~lo:5 ~hi:5 (fun _ _ ->
+      Alcotest.fail "iter_ranges called on an empty range");
+  (match
+     E.map ~executor:(E.Domains 2) 8 (fun i ->
+         if i = 5 then failwith "boom" else i)
+   with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "task exn" "boom" msg);
+  (* The pool survives a failed batch. *)
+  Alcotest.(check (array int))
+    "pool reusable after a failure" (Array.init 8 f)
+    (E.map ~executor:(E.Domains 2) 8 f);
+  (* Nested submission degrades to sequential but stays correct. *)
+  let nested =
+    E.map ~executor:(E.Domains 2) 4 (fun i ->
+        Array.fold_left ( + ) 0
+          (E.map ~executor:(E.Domains 2) 4 (fun j -> i + j)))
+  in
+  Alcotest.(check (array int))
+    "nested map correct"
+    (Array.init 4 (fun i -> (4 * i) + 6))
+    nested;
+  Alcotest.(check bool) "of_jobs 1 = Seq" true (E.of_jobs 1 = E.Seq);
+  Alcotest.(check bool) "of_jobs 0 = Seq" true (E.of_jobs 0 = E.Seq);
+  Alcotest.(check int) "jobs (Domains 3)" 3 (E.jobs (E.Domains 3))
+
+(* Worker-domain Obs capture: counters accumulated inside captured
+   tasks replay to the same totals the sequential order produces. *)
+let test_executor_capture_counters () =
+  with_clean_state @@ fun () ->
+  Obs.install Obs.Sink.null;
+  let caps =
+    E.map ~executor:(E.Domains 3) 12 (fun i ->
+        Obs.with_capture (fun () ->
+            Obs.add "cap.test" (float_of_int i);
+            Obs.span "cap-span" (fun () -> Obs.incr "cap.spans")))
+  in
+  Array.iter (fun ((), cap) -> Option.iter Obs.replay cap) caps;
+  Alcotest.(check (float 0.0)) "counter total" 66.0 (Obs.counter "cap.test");
+  Alcotest.(check (float 0.0)) "span counter" 12.0 (Obs.counter "cap.spans")
+
+(* ------------------------------------------------------------------ *)
+(* The jobs sweep: executor equivalence on both storage backends      *)
+(* ------------------------------------------------------------------ *)
+
+(* Reduced repetitions keep the 2-backend x 5-shard x 3-jobs matrix
+   affordable; both sides of every comparison use the same config, so
+   the bit-identity property is tested at full strength. *)
+let sweep_config category =
+  { (Stage.default_config category) with Stage.reps = 3 }
+
+let run_with_manifest ~jobs ~shards ~config category =
+  let captured = ref None in
+  Stage.set_manifest (Some (fun m -> captured := Some m));
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Stage.set_manifest None)
+      (fun () ->
+        E.with_default (E.of_jobs jobs) (fun () ->
+            Stage.run_sharded ~config ~shards category))
+  in
+  match !captured with
+  | Some m -> (r, m)
+  | None -> Alcotest.fail "run emitted no manifest"
+
+let check_manifest_cross_jobs ~msg ref_m m =
+  Alcotest.(check bool)
+    (msg ^ ": cross-jobs detected") true
+    (Obs.Manifest.cross_jobs ref_m m <> None);
+  let allowed = [ "config.jobs"; "config_digest" ] in
+  List.iter
+    (fun (c : Obs.Manifest.change) ->
+      if not (List.mem c.Obs.Manifest.path allowed) then
+        Alcotest.fail
+          (Printf.sprintf "%s: unexpected non-timing manifest drift at %s (%s -> %s)"
+             msg c.Obs.Manifest.path c.Obs.Manifest.before c.Obs.Manifest.after))
+    (Obs.Manifest.non_timing (Obs.Manifest.diff ref_m m))
+
+let test_jobs_sweep category () =
+  with_clean_state @@ fun () ->
+  Provenance.set_recording true;
+  let config = sweep_config category in
+  List.iter
+    (fun backend ->
+      Linalg.Backend.with_default backend (fun () ->
+          List.iter
+            (fun shards ->
+              let ref_r, ref_m =
+                run_with_manifest ~jobs:1 ~shards ~config category
+              in
+              List.iter
+                (fun jobs ->
+                  let msg =
+                    Printf.sprintf "%s backend=%s shards=%d jobs=%d"
+                      (Core.Category.name category)
+                      (Linalg.Backend.name backend)
+                      shards jobs
+                  in
+                  let r, m = run_with_manifest ~jobs ~shards ~config category in
+                  check_equivalent ~msg ref_r r;
+                  check_manifest_cross_jobs ~msg ref_m m)
+                [ 2; 4 ])
+            [ 1; 2; 3; 5; 8 ]))
+    [ Linalg.Backend.Floatarray; Linalg.Backend.Bigarray ]
+
 let () =
   let open Alcotest in
   run "stage"
@@ -343,4 +470,19 @@ let () =
         ] );
       ( "counters",
         [ test_case "shard counters sum" `Quick test_shard_counters_sum ] );
+      ( "executor",
+        [
+          test_case "pool map/iter_ranges/exceptions" `Quick
+            test_executor_unit;
+          test_case "worker capture replays counters" `Quick
+            test_executor_capture_counters;
+        ] );
+      ( "jobs-sweep",
+        List.map
+          (fun c ->
+            test_case
+              (Printf.sprintf "jobs x shards x backends == Seq %s"
+                 (Core.Category.name c))
+              `Slow (test_jobs_sweep c))
+          categories );
     ]
